@@ -1,0 +1,116 @@
+// Command fattree inspects the Fat-Tree substrate: topology statistics,
+// path-set sizes, and the link-utilization distribution after a background
+// fill — useful for sanity-checking workload setups before running
+// experiments.
+//
+// Usage:
+//
+//	fattree [-k 8] [-util 0.6] [-seed 1] [-trace yahoo|random]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/snapshot"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("fattree", flag.ContinueOnError)
+	var (
+		k         = fs.Int("k", 8, "fat-tree arity (even)")
+		util      = fs.Float64("util", 0.6, "background utilization target (0 disables)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		traceName = fs.String("trace", "yahoo", "background traffic model: yahoo|random")
+		snapOut   = fs.String("snapshot", "", "write the loaded state as a JSON snapshot to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var model trace.Model
+	switch *traceName {
+	case "yahoo":
+		model = trace.YahooLike{}
+	case "random":
+		model = trace.Uniform{}
+	default:
+		fmt.Fprintf(os.Stderr, "fattree: unknown trace %q\n", *traceName)
+		return 2
+	}
+
+	ft, err := topology.NewFatTree(*k, topology.Gbps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fattree: %v\n", err)
+		return 1
+	}
+	g := ft.Graph()
+	fmt.Printf("fat-tree k=%d: %d switches (%d core, %d agg, %d edge), %d hosts, %d directed links\n",
+		*k, ft.NumSwitches(), len(ft.Cores()), *k*(*k/2), *k*(*k/2), ft.NumHosts(), g.NumLinks())
+
+	prov := routing.NewFatTreeProvider(ft)
+	sameEdge := prov.Paths(ft.Host(0, 0, 0), ft.Host(0, 0, 1))
+	samePod := prov.Paths(ft.Host(0, 0, 0), ft.Host(0, 1, 0))
+	crossPod := prov.Paths(ft.Host(0, 0, 0), ft.Host(1, 0, 0))
+	fmt.Printf("ECMP path sets: same-edge %d, same-pod %d, cross-pod %d\n",
+		len(sameEdge), len(samePod), len(crossPod))
+
+	if *util <= 0 {
+		return 0
+	}
+	net := netstate.New(g, prov, routing.NewRandomFit(*seed+7))
+	gen, err := trace.NewGenerator(*seed, model, ft.Hosts())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fattree: %v\n", err)
+		return 1
+	}
+	placed, err := trace.FillBackground(net, gen, *util, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fattree: background fill stopped early: %v\n", err)
+	}
+	fmt.Printf("background: %d flows placed, utilization %.3f\n", len(placed), net.Utilization())
+
+	var utils []float64
+	for i := 0; i < g.NumLinks(); i++ {
+		utils = append(utils, g.Link(topology.LinkID(i)).Utilization())
+	}
+	sort.Float64s(utils)
+	pct := func(p int) float64 { return utils[(len(utils)-1)*p/100] }
+	fmt.Printf("link utilization: p10=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		pct(10), pct(50), pct(90), pct(99), pct(100))
+	saturated := 0
+	for _, u := range utils {
+		if u > 0.95 {
+			saturated++
+		}
+	}
+	fmt.Printf("links above 95%% utilization: %d of %d\n", saturated, len(utils))
+
+	if *snapOut != "" {
+		f, err := os.Create(*snapOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fattree: %v\n", err)
+			return 1
+		}
+		writeErr := snapshot.Capture(net).Write(f)
+		if closeErr := f.Close(); writeErr == nil {
+			writeErr = closeErr
+		}
+		if writeErr != nil {
+			fmt.Fprintf(os.Stderr, "fattree: snapshot: %v\n", writeErr)
+			return 1
+		}
+		fmt.Printf("snapshot written to %s\n", *snapOut)
+	}
+	return 0
+}

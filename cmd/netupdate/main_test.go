@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exit = %d", code)
+	}
+}
+
+func TestRunQuickExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-experiment", "fig3", "-quick", "-csv", dir}); code != 0 {
+		t.Fatalf("fig3 exit = %d", code)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3_1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunBadInvocations(t *testing.T) {
+	if code := run([]string{"-experiment", "nope"}); code != 2 {
+		t.Errorf("unknown experiment exit = %d, want 2", code)
+	}
+	if code := run([]string{}); code != 2 {
+		t.Errorf("no args exit = %d, want 2", code)
+	}
+	if code := run([]string{"-bogusflag"}); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestRunMultiSeed(t *testing.T) {
+	if code := run([]string{"-experiment", "fig2", "-seeds", "2", "-quick"}); code != 0 {
+		t.Errorf("-seeds exit = %d", code)
+	}
+}

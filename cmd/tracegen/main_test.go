@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEmitsValidJSONL(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-k", "4", "-events", "5", "-min-flows", "2", "-max-flows", "4", "-seed", "3"}, &out)
+	if code != 0 {
+		t.Fatalf("run exit = %d", code)
+	}
+	scanner := bufio.NewScanner(&out)
+	lines := 0
+	for scanner.Scan() {
+		var ev eventJSON
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if ev.ID != int64(lines+1) {
+			t.Errorf("line %d id = %d", lines, ev.ID)
+		}
+		if len(ev.Flows) < 2 || len(ev.Flows) > 4 {
+			t.Errorf("line %d flows = %d, want [2,4]", lines, len(ev.Flows))
+		}
+		for _, f := range ev.Flows {
+			if f.Src == f.Dst || f.DemandBps <= 0 {
+				t.Errorf("line %d invalid flow %+v", lines, f)
+			}
+		}
+		lines++
+	}
+	if lines != 5 {
+		t.Errorf("lines = %d, want 5", lines)
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if run([]string{"-events", "3", "-seed", "9"}, &a) != 0 {
+		t.Fatal("first run failed")
+	}
+	if run([]string{"-events", "3", "-seed", "9"}, &b) != 0 {
+		t.Fatal("second run failed")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same-seed runs differ")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	if code := run([]string{"-events", "2", "-out", path}, &out); code != 0 {
+		t.Fatalf("run exit = %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("output file empty")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout written despite -out")
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-trace", "bogus"}, &out); code != 2 {
+		t.Errorf("bad trace exit = %d, want 2", code)
+	}
+	if code := run([]string{"-k", "3"}, &out); code != 1 {
+		t.Errorf("odd k exit = %d, want 1", code)
+	}
+	if code := run([]string{"-nope"}, &out); code != 2 {
+		t.Errorf("unknown flag exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,221 @@
+// Command updatectl is the client for the update-controller daemon
+// (cmd/updated).
+//
+// Usage:
+//
+//	updatectl -addr host:7421 ping
+//	updatectl -addr host:7421 stats
+//	updatectl -addr host:7421 submit trace.jsonl   # events from cmd/tracegen
+//	updatectl -addr host:7421 status <event-id>
+//	updatectl -addr host:7421 results
+//	updatectl -addr host:7421 snapshot > state.json
+//
+// submit reads JSON Lines (one event per line, the cmd/tracegen format),
+// submits every event, waits for completion, and prints per-event metrics.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"netupdate/internal/ctl"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("updatectl", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7421", "controller address")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-event wait timeout for submit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results")
+		return 2
+	}
+
+	client, err := ctl.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := client.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: close: %v\n", err)
+		}
+	}()
+
+	switch rest[0] {
+	case "ping":
+		if err := client.Ping(); err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "ok")
+		return 0
+
+	case "stats":
+		stats, err := client.Stats()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "scheduler      %s\n", stats.Scheduler)
+		fmt.Fprintf(stdout, "utilization    %.3f\n", stats.Utilization)
+		fmt.Fprintf(stdout, "flows placed   %d\n", stats.FlowsPlaced)
+		fmt.Fprintf(stdout, "events queued  %d\n", stats.EventsQueued)
+		fmt.Fprintf(stdout, "events done    %d\n", stats.EventsDone)
+		fmt.Fprintf(stdout, "total cost     %.1f Mbps\n", float64(stats.TotalCostBps)/1e6)
+		fmt.Fprintf(stdout, "avg ECT        %v\n", stats.AvgECT)
+		fmt.Fprintf(stdout, "tail ECT       %v\n", stats.TailECT)
+		fmt.Fprintf(stdout, "avg delay      %v\n", stats.AvgQueuingDelay)
+		fmt.Fprintf(stdout, "plan time      %v\n", stats.PlanTime)
+		fmt.Fprintf(stdout, "virtual clock  %v\n", stats.VirtualClock)
+		return 0
+
+	case "status":
+		if len(rest) < 2 {
+			fmt.Fprintln(os.Stderr, "updatectl: status needs an event id")
+			return 2
+		}
+		id, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: bad event id %q\n", rest[1])
+			return 2
+		}
+		st, err := client.Status(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		printStatus(stdout, st)
+		return 0
+
+	case "results":
+		results, err := client.Results()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		for _, st := range results {
+			printStatus(stdout, st)
+		}
+		return 0
+
+	case "snapshot":
+		snap, err := client.Snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		if err := snap.Write(stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		return 0
+
+	case "submit":
+		if len(rest) < 2 {
+			fmt.Fprintln(os.Stderr, "updatectl: submit needs a trace file (- for stdin)")
+			return 2
+		}
+		var in io.Reader = os.Stdin
+		if rest[1] != "-" {
+			f, err := os.Open(rest[1])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+				return 1
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "updatectl: close trace: %v\n", err)
+				}
+			}()
+			in = f
+		}
+		return submitAll(client, in, stdout, *timeout)
+
+	default:
+		fmt.Fprintf(os.Stderr, "updatectl: unknown command %q\n", rest[0])
+		return 2
+	}
+}
+
+// traceEvent matches cmd/tracegen's JSONL schema.
+type traceEvent struct {
+	ID    int64 `json:"id"`
+	Kind  string
+	Flows []struct {
+		Src       int   `json:"src"`
+		Dst       int   `json:"dst"`
+		DemandBps int64 `json:"demand_bps"`
+		SizeBytes int64 `json:"size_bytes"`
+	} `json:"flows"`
+}
+
+// submitAll reads JSONL events, submits each, and waits for completion.
+func submitAll(client *ctl.Client, in io.Reader, stdout io.Writer, timeout time.Duration) int {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var ids []int64
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var te traceEvent
+		if err := json.Unmarshal(line, &te); err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: bad trace line: %v\n", err)
+			return 1
+		}
+		spec := ctl.EventSpec{Kind: te.Kind}
+		for _, f := range te.Flows {
+			spec.Flows = append(spec.Flows, ctl.FlowSpec{
+				Src: f.Src, Dst: f.Dst, DemandBps: f.DemandBps, SizeBytes: f.SizeBytes,
+			})
+		}
+		id, err := client.Submit(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: submit: %v\n", err)
+			return 1
+		}
+		ids = append(ids, id)
+	}
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: read trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "submitted %d events\n", len(ids))
+	for _, id := range ids {
+		st, err := client.WaitDone(id, timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		printStatus(stdout, st)
+	}
+	return 0
+}
+
+func printStatus(w io.Writer, st ctl.EventStatus) {
+	switch st.State {
+	case ctl.StateDone:
+		fmt.Fprintf(w, "event %-4d done   %d/%d flows admitted, cost %.1f Mbps, delay %v, ECT %v\n",
+			st.EventID, st.Admitted, st.Admitted+st.Failed,
+			float64(st.CostBps)/1e6, st.QueuingDelay, st.ECT)
+	default:
+		fmt.Fprintf(w, "event %-4d %s (%d flows)\n", st.EventID, st.State, st.Flows)
+	}
+}

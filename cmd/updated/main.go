@@ -1,0 +1,125 @@
+// Command updated is the update-controller daemon: it owns a simulated
+// data-center network (k-ary Fat-Tree pre-loaded with background traffic)
+// and schedules update events submitted over the ctl protocol with the
+// configured policy (FIFO, LMTF or P-LMTF).
+//
+// Usage:
+//
+//	updated [-addr :7421] [-k 8] [-util 0.6] [-scheduler p-lmtf]
+//	        [-alpha 4] [-seed 1]
+//
+// Submit work with cmd/updatectl or any client speaking line-delimited
+// JSON (see internal/ctl).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"netupdate/internal/core"
+	"netupdate/internal/ctl"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/rules"
+	"netupdate/internal/sched"
+	"netupdate/internal/sim"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("updated", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":7421", "listen address")
+		k         = fs.Int("k", 8, "fat-tree arity")
+		util      = fs.Float64("util", 0.6, "background utilization target")
+		schedName = fs.String("scheduler", "p-lmtf", "scheduling policy: fifo|lmtf|p-lmtf|reorder")
+		alpha     = fs.Int("alpha", 4, "LMTF/P-LMTF sample size")
+		seed      = fs.Int64("seed", 1, "random seed")
+		tables    = fs.Int("tables", -1, "attach per-switch rule tables with this capacity (0 = unlimited, -1 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var scheduler sched.Scheduler
+	switch *schedName {
+	case "fifo":
+		scheduler = sched.FIFO{}
+	case "lmtf":
+		scheduler = sched.NewLMTF(*alpha, *seed)
+	case "p-lmtf":
+		scheduler = sched.NewPLMTF(*alpha, *seed)
+	case "reorder":
+		scheduler = sched.Reorder{}
+	default:
+		fmt.Fprintf(os.Stderr, "updated: unknown scheduler %q\n", *schedName)
+		return 2
+	}
+
+	ft, err := topology.NewFatTree(*k, topology.Gbps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updated: %v\n", err)
+		return 1
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(*seed+7))
+	if *tables >= 0 {
+		if err := net.AttachDataPlane(rules.NewManager(ft.Graph(), *tables)); err != nil {
+			fmt.Fprintf(os.Stderr, "updated: rule tables: %v\n", err)
+			return 1
+		}
+		fmt.Printf("updated: two-phase rule tables attached (capacity %d per switch)\n", *tables)
+	}
+	gen, err := trace.NewGenerator(*seed, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updated: %v\n", err)
+		return 1
+	}
+	if *util > 0 {
+		placed, err := trace.FillBackground(net, gen, *util, 0)
+		if err != nil && !errors.Is(err, trace.ErrTargetUnreachable) {
+			fmt.Fprintf(os.Stderr, "updated: background: %v\n", err)
+			return 1
+		}
+		fmt.Printf("updated: background %d flows, utilization %.3f\n", len(placed), net.Utilization())
+	}
+
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+	srv := ctl.NewServer(planner, scheduler, sim.Config{})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+	fmt.Printf("updated: %s scheduler on %s (k=%d, %d hosts)\n",
+		scheduler.Name(), *addr, *k, ft.NumHosts())
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("updated: %v, shutting down\n", sig)
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "updated: close: %v\n", err)
+			return 1
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, ctl.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "updated: %v\n", err)
+			return 1
+		}
+		return 0
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, ctl.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "updated: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: build the paper's testbed (an 8-pod Fat-Tree with 1 Gbps
+// links), load it with background traffic, and admit one update event —
+// watching the migration planner free congested links when a flow's
+// desired path lacks capacity (Definitions 1 and 2 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netupdate/internal/core"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+}
+
+func run() error {
+	// 1. The substrate: a k=8 Fat-Tree, 1 Gbps everywhere.
+	ft, err := topology.NewFatTree(8, topology.Gbps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d switches, %d hosts, %d directed links\n",
+		ft.NumSwitches(), ft.NumHosts(), ft.Graph().NumLinks())
+
+	// 2. Network state: ECMP path sets + hash-like random placement for
+	// background traffic, which leaves some links much hotter than others.
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(7))
+
+	// 3. Fill the network to 70% utilization with Yahoo!-like traffic.
+	gen, err := trace.NewGenerator(1, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		return err
+	}
+	background, err := trace.FillBackground(net, gen, 0.70, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("background: %d flows, utilization %.2f\n", len(background), net.Utilization())
+
+	// 4. An update event: 40 new flows that must all be admitted.
+	planner := core.NewPlanner(migration.NewPlanner(net, migration.StrategyDensity), core.FailSkip)
+	event := gen.Event(1, "demo", 0, 40, 40)
+
+	// Probe first: what would this event cost right now?
+	estimate, err := planner.Probe(event)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe: cost %v migrated traffic, %d/%d flows admittable\n",
+		estimate.Cost, estimate.Admittable, event.NumFlows())
+
+	// 5. Execute it for real.
+	result, err := planner.Execute(event)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed: %d flows admitted, %d blocked, Cost(U) = %v\n",
+		len(result.Admitted), result.Failed, result.Cost)
+	for _, adm := range result.Admitted {
+		if len(adm.Moves) == 0 {
+			continue
+		}
+		fmt.Printf("  flow %d->%d (%v) needed %d migration(s), %v migrated\n",
+			int(adm.Flow.Src), int(adm.Flow.Dst), adm.Flow.Demand,
+			len(adm.Moves), adm.MigratedTraffic)
+	}
+	fmt.Printf("final utilization: %.2f\n", net.Utilization())
+	return nil
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's primary contribution: the
+// event-level abstraction of network update (Section III). An update event
+// groups the flows it causes and is planned, costed and executed as one
+// entity; Cost(U) — the traffic migrated to admit all of the event's
+// flows — is the metric the LMTF/P-LMTF schedulers order events by.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/topology"
+)
+
+// Event is an update event U = {f_1, ..., f_w}: a set of flows that must
+// all be admitted into the network before the event is complete
+// (Definition 2). Events are created by operators, applications or device
+// failures; Kind records which for reporting.
+type Event struct {
+	// ID identifies the event; the flows it spawns carry it in their
+	// Event field so migration never cannibalizes the event's own flows.
+	ID flow.EventID
+	// Kind is a free-form label ("vm-migration", "switch-upgrade", ...).
+	Kind string
+	// Specs are the flows the event must admit, in intra-event order.
+	Specs []flow.Spec
+	// Arrival is the event's arrival (enqueue) virtual time.
+	Arrival time.Duration
+
+	// Start is when execution began; valid once Started.
+	Start time.Duration
+	// Completion is when the event's last flow completed; valid once Done.
+	Completion time.Duration
+	// Started and Done track scheduling state.
+	Started bool
+	Done    bool
+
+	// CostAtExec is the realized Cost(U) when the event executed.
+	CostAtExec topology.Bandwidth
+
+	// Flows holds the registered flows once the event executes.
+	Flows []*flow.Flow
+	// FailedSpecs are flows that could not be admitted even with
+	// migration (typically saturated host access links).
+	FailedSpecs []flow.Spec
+}
+
+// NewEvent builds an event from its flow specs, stamping each spec's Event
+// field with the event ID.
+func NewEvent(id flow.EventID, kind string, arrival time.Duration, specs []flow.Spec) *Event {
+	ev := &Event{
+		ID:      id,
+		Kind:    kind,
+		Arrival: arrival,
+		Specs:   make([]flow.Spec, len(specs)),
+	}
+	copy(ev.Specs, specs)
+	for i := range ev.Specs {
+		ev.Specs[i].Event = id
+	}
+	return ev
+}
+
+// NumFlows returns the number of flows the event will admit.
+func (e *Event) NumFlows() int { return len(e.Specs) }
+
+// TotalDemand returns the sum of the event's flow demands, a measure of
+// event weight used by workload reports.
+func (e *Event) TotalDemand() topology.Bandwidth {
+	var total topology.Bandwidth
+	for _, s := range e.Specs {
+		total += s.Demand
+	}
+	return total
+}
+
+// QueuingDelay returns Start - Arrival, the time the event waited in the
+// update queue (the metric of Figs. 8 and 9). It is zero until Started.
+func (e *Event) QueuingDelay() time.Duration {
+	if !e.Started {
+		return 0
+	}
+	return e.Start - e.Arrival
+}
+
+// ECT returns the event completion time: Completion - Arrival (Section I).
+// It is zero until Done.
+func (e *Event) ECT() time.Duration {
+	if !e.Done {
+		return 0
+	}
+	return e.Completion - e.Arrival
+}
+
+// String implements fmt.Stringer.
+func (e *Event) String() string {
+	return fmt.Sprintf("event#%d(%s, %d flows)", int64(e.ID), e.Kind, len(e.Specs))
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/topology"
+)
+
+func specN(n int) []flow.Spec {
+	specs := make([]flow.Spec, n)
+	for i := range specs {
+		specs[i] = flow.Spec{Src: 0, Dst: 1, Demand: topology.Bandwidth(i+1) * topology.Mbps}
+	}
+	return specs
+}
+
+func TestNewEventStampsSpecs(t *testing.T) {
+	specs := specN(3)
+	ev := NewEvent(42, "vm-migration", time.Second, specs)
+	if ev.NumFlows() != 3 {
+		t.Fatalf("NumFlows = %d, want 3", ev.NumFlows())
+	}
+	for i, s := range ev.Specs {
+		if s.Event != 42 {
+			t.Errorf("spec %d event = %d, want 42", i, s.Event)
+		}
+	}
+	// Caller's slice must be unaffected (copy at boundary).
+	if specs[0].Event != flow.NoEvent {
+		t.Error("NewEvent mutated caller's specs")
+	}
+}
+
+func TestEventTotalDemand(t *testing.T) {
+	ev := NewEvent(1, "test", 0, specN(3))
+	if got, want := ev.TotalDemand(), 6*topology.Mbps; got != want {
+		t.Errorf("TotalDemand = %v, want %v", got, want)
+	}
+	empty := NewEvent(2, "test", 0, nil)
+	if got := empty.TotalDemand(); got != 0 {
+		t.Errorf("empty TotalDemand = %v, want 0", got)
+	}
+}
+
+func TestEventTimingMetrics(t *testing.T) {
+	ev := NewEvent(1, "test", 10*time.Second, specN(1))
+	if ev.QueuingDelay() != 0 || ev.ECT() != 0 {
+		t.Error("metrics nonzero before scheduling")
+	}
+	ev.Start = 15 * time.Second
+	ev.Started = true
+	if got, want := ev.QueuingDelay(), 5*time.Second; got != want {
+		t.Errorf("QueuingDelay = %v, want %v", got, want)
+	}
+	if ev.ECT() != 0 {
+		t.Error("ECT nonzero before completion")
+	}
+	ev.Completion = 22 * time.Second
+	ev.Done = true
+	if got, want := ev.ECT(), 12*time.Second; got != want {
+		t.Errorf("ECT = %v, want %v", got, want)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := NewEvent(3, "upgrade", 0, specN(2))
+	if got := ev.String(); got == "" {
+		t.Error("String() empty")
+	}
+}

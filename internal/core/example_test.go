@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+// Plan and execute one update event against an empty fat-tree: probe the
+// cost first (non-committal), then execute for real.
+func ExamplePlanner() {
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.WidestFit{})
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+
+	event := core.NewEvent(1, "example", 0, []flow.Spec{
+		{Src: ft.Host(0, 0, 0), Dst: ft.Host(1, 0, 0), Demand: 100 * topology.Mbps},
+		{Src: ft.Host(2, 0, 0), Dst: ft.Host(3, 0, 0), Demand: 200 * topology.Mbps},
+	})
+
+	estimate, _ := planner.Probe(event)
+	fmt.Println("probe feasible:", estimate.Feasible, "cost:", estimate.Cost)
+
+	result, _ := planner.Execute(event)
+	fmt.Println("admitted:", len(result.Admitted), "failed:", result.Failed)
+	fmt.Println("Cost(U):", result.Cost)
+	// Output:
+	// probe feasible: true cost: 0bps
+	// admitted: 2 failed: 0
+	// Cost(U): 0bps
+}

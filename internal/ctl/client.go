@@ -1,0 +1,142 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netupdate/internal/snapshot"
+)
+
+// Client talks the controller protocol over one TCP connection. It is
+// safe for concurrent use; calls are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a controller at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("ctl: %s: %s", req.Op, resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks the controller is alive.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: OpPing})
+	return err
+}
+
+// Submit enqueues an update event and returns its ID.
+func (c *Client) Submit(event EventSpec) (int64, error) {
+	resp, err := c.roundTrip(Request{Op: OpSubmit, Event: &event})
+	if err != nil {
+		return 0, err
+	}
+	return resp.EventID, nil
+}
+
+// Status reports one event's scheduling state.
+func (c *Client) Status(eventID int64) (EventStatus, error) {
+	resp, err := c.roundTrip(Request{Op: OpStatus, EventID: eventID})
+	if err != nil {
+		return EventStatus{}, err
+	}
+	if resp.Status == nil {
+		return EventStatus{}, fmt.Errorf("ctl: status: empty response")
+	}
+	return *resp.Status, nil
+}
+
+// Results lists all completed events in completion order.
+func (c *Client) Results() ([]EventStatus, error) {
+	resp, err := c.roundTrip(Request{Op: OpResults})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Stats reports controller-wide aggregates.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, fmt.Errorf("ctl: stats: empty response")
+	}
+	return *resp.Stats, nil
+}
+
+// Snapshot fetches the controller's full network state.
+func (c *Client) Snapshot() (*snapshot.Snapshot, error) {
+	resp, err := c.roundTrip(Request{Op: OpSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Snapshot == nil {
+		return nil, fmt.Errorf("ctl: snapshot: empty response")
+	}
+	return resp.Snapshot, nil
+}
+
+// WaitDone polls until the event completes or the timeout elapses,
+// returning the final status. Poll interval is 10ms.
+func (c *Client) WaitDone(eventID int64, timeout time.Duration) (EventStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(eventID)
+		if err != nil {
+			return EventStatus{}, err
+		}
+		switch st.State {
+		case StateDone:
+			return st, nil
+		case StateUnknown:
+			return st, fmt.Errorf("ctl: wait: unknown event %d", eventID)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("ctl: wait: event %d still %s after %v", eventID, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

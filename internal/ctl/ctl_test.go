@@ -1,0 +1,373 @@
+package ctl
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/sched"
+	"netupdate/internal/sim"
+	"netupdate/internal/snapshot"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+// startServer brings up a controller over a loaded k=4 fat-tree on an
+// ephemeral port and returns a connected client. Everything is torn down
+// by t.Cleanup.
+func startServer(t *testing.T, scheduler sched.Scheduler) (*Client, *topology.FatTree) {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net1 := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(7))
+	gen, err := trace.NewGenerator(1, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.FillBackground(net1, gen, 0.3, 0); err != nil {
+		t.Fatal(err)
+	}
+	planner := core.NewPlanner(migration.NewPlanner(net1, 0), core.FailSkip)
+	srv := NewServer(planner, scheduler, sim.Config{InstallTime: time.Millisecond})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := client.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			t.Errorf("client close: %v", err)
+		}
+	})
+	return client, ft
+}
+
+// eventSpec builds a small event between distinct hosts.
+func eventSpec(ft *topology.FatTree, nFlows int, demandMbps int64) EventSpec {
+	hosts := ft.Hosts()
+	spec := EventSpec{Kind: "test"}
+	for i := 0; i < nFlows; i++ {
+		spec.Flows = append(spec.Flows, FlowSpec{
+			Src:       int(hosts[(2*i)%len(hosts)]),
+			Dst:       int(hosts[(2*i+1)%len(hosts)]),
+			DemandBps: demandMbps * 1e6,
+		})
+	}
+	return spec
+}
+
+func TestPing(t *testing.T) {
+	client, _ := startServer(t, sched.FIFO{})
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestSubmitAndWait(t *testing.T) {
+	client, ft := startServer(t, sched.NewPLMTF(2, 1))
+	id, err := client.Submit(eventSpec(ft, 5, 10))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if id == 0 {
+		t.Fatal("Submit returned zero ID")
+	}
+	st, err := client.WaitDone(id, 5*time.Second)
+	if err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if st.Admitted != 5 || st.Failed != 0 {
+		t.Errorf("admitted/failed = %d/%d, want 5/0", st.Admitted, st.Failed)
+	}
+	if st.ECT <= 0 {
+		t.Errorf("ECT = %v, want > 0", st.ECT)
+	}
+}
+
+func TestSubmitManyAndResults(t *testing.T) {
+	client, ft := startServer(t, sched.NewLMTF(2, 1))
+	const n = 8
+	ids := make([]int64, n)
+	for i := range ids {
+		id, err := client.Submit(eventSpec(ft, 3+i%4, 5))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		if _, err := client.WaitDone(id, 5*time.Second); err != nil {
+			t.Fatalf("WaitDone(%d): %v", id, err)
+		}
+	}
+	results, err := client.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("results = %d, want %d", len(results), n)
+	}
+	seen := map[int64]bool{}
+	for _, r := range results {
+		if r.State != StateDone {
+			t.Errorf("result %d state = %s", r.EventID, r.State)
+		}
+		seen[r.EventID] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Errorf("event %d missing from results", id)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	client, ft := startServer(t, sched.FIFO{})
+	before, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Scheduler != "fifo" {
+		t.Errorf("scheduler = %q, want fifo", before.Scheduler)
+	}
+	if before.Utilization <= 0 || before.FlowsPlaced == 0 {
+		t.Errorf("stats show empty network: %+v", before)
+	}
+	id, err := client.Submit(eventSpec(ft, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitDone(id, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	after, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.EventsDone != before.EventsDone+1 {
+		t.Errorf("EventsDone = %d, want %d", after.EventsDone, before.EventsDone+1)
+	}
+	if after.VirtualClock <= before.VirtualClock {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestStatusUnknownEvent(t *testing.T) {
+	client, _ := startServer(t, sched.FIFO{})
+	st, err := client.Status(9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateUnknown {
+		t.Errorf("state = %s, want unknown", st.State)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	client, ft := startServer(t, sched.FIFO{})
+	host := int(ft.Hosts()[0])
+	cases := []struct {
+		name string
+		spec EventSpec
+	}{
+		{"no flows", EventSpec{}},
+		{"src==dst", EventSpec{Flows: []FlowSpec{{Src: host, Dst: host, DemandBps: 1e6}}}},
+		{"zero demand", EventSpec{Flows: []FlowSpec{{Src: host, Dst: host + 1, DemandBps: 0}}}},
+		{"negative size", EventSpec{Flows: []FlowSpec{{Src: host, Dst: host + 1, DemandBps: 1e6, SizeBytes: -1}}}},
+		{"out of range", EventSpec{Flows: []FlowSpec{{Src: -1, Dst: host, DemandBps: 1e6}}}},
+		{"node index too big", EventSpec{Flows: []FlowSpec{{Src: 1 << 20, Dst: host, DemandBps: 1e6}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := client.Submit(tc.spec); err == nil {
+				t.Error("Submit succeeded, want validation error")
+			}
+		})
+	}
+	// The connection survives rejected submissions.
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping after rejects: %v", err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	client, _ := startServer(t, sched.FIFO{})
+	if _, err := client.roundTrip(Request{Op: "bogus"}); err == nil {
+		t.Error("bogus op succeeded")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	client, ft := startServer(t, sched.NewPLMTF(2, 3))
+	addr := client.conn.RemoteAddr().String()
+
+	const workers = 4
+	const perWorker = 3
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perWorker; i++ {
+				id, err := c.Submit(eventSpec(ft, 2+w, 5))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := c.WaitDone(id, 10*time.Second); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	results, err := client.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != workers*perWorker {
+		t.Errorf("results = %d, want %d", len(results), workers*perWorker)
+	}
+}
+
+func TestMalformedJSONDropsConnection(t *testing.T) {
+	client, _ := startServer(t, sched.FIFO{})
+	addr := client.conn.RemoteAddr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Server must drop us: the read eventually returns EOF.
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var buf [64]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Error("expected connection drop after malformed JSON")
+	}
+	// Other clients are unaffected.
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping after malformed peer: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net1 := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.WidestFit{})
+	planner := core.NewPlanner(migration.NewPlanner(net1, 0), core.FailSkip)
+	srv := NewServer(planner, sched.FIFO{}, sim.Config{})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := srv.ListenAndServe("127.0.0.1:0"); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestProtocolWireFormat(t *testing.T) {
+	// The protocol is line-delimited JSON; verify a raw exchange.
+	client, ft := startServer(t, sched.FIFO{})
+	addr := client.conn.RemoteAddr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	host := ft.Hosts()
+	raw, err := json.Marshal(Request{Op: OpSubmit, Event: &EventSpec{
+		Flows: []FlowSpec{{Src: int(host[0]), Dst: int(host[1]), DemandBps: 1e6}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(raw, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.EventID == 0 {
+		t.Errorf("raw submit response = %+v", resp)
+	}
+}
+
+func TestSnapshotOp(t *testing.T) {
+	client, ft := startServer(t, sched.FIFO{})
+	id, err := client.Submit(eventSpec(ft, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WaitDone(id, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if len(snap.Nodes) != ft.Graph().NumNodes() {
+		t.Errorf("snapshot nodes = %d, want %d", len(snap.Nodes), ft.Graph().NumNodes())
+	}
+	if len(snap.Flows) == 0 {
+		t.Error("snapshot has no flows despite loaded fabric")
+	}
+	// A fetched snapshot must restore into a working network.
+	restored, err := snapshot.Restore(snap)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.Utilization() <= 0 {
+		t.Error("restored network empty")
+	}
+}

@@ -1,0 +1,151 @@
+// Package ctl is the update-controller service: a line-delimited JSON
+// protocol over TCP, a server that owns live network state and schedules
+// submitted update events with any sched.Scheduler, and a matching client.
+//
+// The server is the deployment shape of the paper's system: operators,
+// applications and monitoring submit update events as they happen; the
+// controller queues them, probes costs, and executes them under
+// LMTF/P-LMTF semantics, exposing per-event status and the scheduling
+// metrics of Section V.
+package ctl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"netupdate/internal/snapshot"
+)
+
+// Op names a protocol operation.
+type Op string
+
+// Protocol operations.
+const (
+	// OpPing checks liveness.
+	OpPing Op = "ping"
+	// OpSubmit enqueues an update event; the response carries its ID.
+	OpSubmit Op = "submit"
+	// OpStatus reports one event's scheduling state.
+	OpStatus Op = "status"
+	// OpResults lists all completed events with their metrics.
+	OpResults Op = "results"
+	// OpStats reports network and scheduler aggregates.
+	OpStats Op = "stats"
+	// OpSnapshot returns the controller's full network state as a
+	// snapshot document (topology, flows, placements).
+	OpSnapshot Op = "snapshot"
+)
+
+// FlowSpec is one flow of a submitted event. Host indices refer to the
+// server's topology (NodeIDs of hosts).
+type FlowSpec struct {
+	Src       int   `json:"src"`
+	Dst       int   `json:"dst"`
+	DemandBps int64 `json:"demand_bps"`
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+}
+
+// EventSpec is a submitted update event.
+type EventSpec struct {
+	Kind  string     `json:"kind,omitempty"`
+	Flows []FlowSpec `json:"flows"`
+}
+
+// Request is one client->server message.
+type Request struct {
+	Op Op `json:"op"`
+	// Event accompanies OpSubmit.
+	Event *EventSpec `json:"event,omitempty"`
+	// EventID accompanies OpStatus.
+	EventID int64 `json:"event_id,omitempty"`
+}
+
+// EventState is an event's lifecycle stage.
+type EventState string
+
+// Event lifecycle states.
+const (
+	StateQueued  EventState = "queued"
+	StateDone    EventState = "done"
+	StateUnknown EventState = "unknown"
+)
+
+// EventStatus reports one event's progress and, once done, its metrics.
+type EventStatus struct {
+	EventID int64      `json:"event_id"`
+	State   EventState `json:"state"`
+	Kind    string     `json:"kind,omitempty"`
+	Flows   int        `json:"flows"`
+	// The remaining fields are valid when State == StateDone.
+	Admitted     int           `json:"admitted,omitempty"`
+	Failed       int           `json:"failed,omitempty"`
+	CostBps      int64         `json:"cost_bps,omitempty"`
+	QueuingDelay time.Duration `json:"queuing_delay_ns,omitempty"`
+	ECT          time.Duration `json:"ect_ns,omitempty"`
+}
+
+// Stats reports controller-wide aggregates.
+type Stats struct {
+	Scheduler       string        `json:"scheduler"`
+	Utilization     float64       `json:"utilization"`
+	FlowsPlaced     int           `json:"flows_placed"`
+	EventsQueued    int           `json:"events_queued"`
+	EventsDone      int           `json:"events_done"`
+	TotalCostBps    int64         `json:"total_cost_bps"`
+	AvgECT          time.Duration `json:"avg_ect_ns"`
+	TailECT         time.Duration `json:"tail_ect_ns"`
+	AvgQueuingDelay time.Duration `json:"avg_queuing_delay_ns"`
+	PlanTime        time.Duration `json:"plan_time_ns"`
+	VirtualClock    time.Duration `json:"virtual_clock_ns"`
+}
+
+// Response is one server->client message.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// EventID echoes the assigned ID after OpSubmit.
+	EventID int64 `json:"event_id,omitempty"`
+	// Status answers OpStatus.
+	Status *EventStatus `json:"status,omitempty"`
+	// Results answers OpResults (completed events, completion order).
+	Results []EventStatus `json:"results,omitempty"`
+	// Stats answers OpStats.
+	Stats *Stats `json:"stats,omitempty"`
+	// Snapshot answers OpSnapshot.
+	Snapshot *snapshot.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Protocol-level errors.
+var (
+	// ErrBadRequest is returned for malformed or unsupported requests.
+	ErrBadRequest = errors.New("ctl: bad request")
+	// ErrServerClosed is returned by client calls after the server went
+	// away and by Serve after Close.
+	ErrServerClosed = errors.New("ctl: server closed")
+)
+
+// Validate checks a submitted event.
+func (e *EventSpec) Validate(numNodes int) error {
+	if e == nil {
+		return fmt.Errorf("%w: missing event", ErrBadRequest)
+	}
+	if len(e.Flows) == 0 {
+		return fmt.Errorf("%w: event has no flows", ErrBadRequest)
+	}
+	for i, f := range e.Flows {
+		if f.Src < 0 || f.Src >= numNodes || f.Dst < 0 || f.Dst >= numNodes {
+			return fmt.Errorf("%w: flow %d endpoints out of range", ErrBadRequest, i)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("%w: flow %d src == dst", ErrBadRequest, i)
+		}
+		if f.DemandBps <= 0 {
+			return fmt.Errorf("%w: flow %d non-positive demand", ErrBadRequest, i)
+		}
+		if f.SizeBytes < 0 {
+			return fmt.Errorf("%w: flow %d negative size", ErrBadRequest, i)
+		}
+	}
+	return nil
+}

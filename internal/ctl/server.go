@@ -1,0 +1,299 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/sched"
+	"netupdate/internal/sim"
+	"netupdate/internal/snapshot"
+	"netupdate/internal/topology"
+)
+
+// Server owns live network state and schedules submitted update events.
+// All state is confined to one goroutine (the state loop); connection
+// handlers communicate with it through a command channel, so the sim
+// engine and network never see concurrent access.
+type Server struct {
+	engine    *sim.Engine
+	planner   *core.Planner
+	scheduler string
+	numNodes  int
+
+	cmds    chan command
+	closing chan struct{}
+	loop    sync.WaitGroup // state loop
+	conns   sync.WaitGroup // connection handlers
+
+	mu       sync.Mutex
+	listener net.Listener
+	open     map[net.Conn]struct{}
+	closed   bool
+}
+
+// command is one request routed to the state loop.
+type command struct {
+	req   Request
+	reply chan Response
+}
+
+// NewServer wraps a planner (owning a prepared network) and a scheduler.
+// cfg is the virtual timing model used to compute per-event metrics.
+func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config) *Server {
+	s := &Server{
+		engine:    sim.NewEngine(planner, scheduler, cfg),
+		planner:   planner,
+		scheduler: scheduler.Name(),
+		numNodes:  planner.Network().Graph().NumNodes(),
+		cmds:      make(chan command),
+		closing:   make(chan struct{}),
+		open:      make(map[net.Conn]struct{}),
+	}
+	s.loop.Add(1)
+	go s.stateLoop()
+	return s
+}
+
+// Serve accepts connections on l until Close. It returns ErrServerClosed
+// after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return ErrServerClosed
+			default:
+				return fmt.Errorf("ctl: accept: %w", err)
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			if cerr := conn.Close(); cerr != nil {
+				return fmt.Errorf("ctl: closing late conn: %w", cerr)
+			}
+			return ErrServerClosed
+		}
+		s.open[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.conns.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("ctl: listen: %w", err)
+	}
+	return s.Serve(l)
+}
+
+// Close stops accepting, closes open connections, and waits for the state
+// loop and all handlers to exit. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	var firstErr error
+	if s.listener != nil {
+		firstErr = s.listener.Close()
+	}
+	for conn := range s.open {
+		if err := conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mu.Unlock()
+
+	s.conns.Wait()
+	s.loop.Wait()
+	return firstErr
+}
+
+// handleConn serves one client: a stream of JSON requests, each answered
+// by one JSON response.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.conns.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.open, conn)
+		s.mu.Unlock()
+		_ = conn.Close() // double-close on shutdown path is harmless
+	}()
+
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF, closed connection, or garbage: drop the client
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes a request to the state loop and waits for the answer.
+func (s *Server) dispatch(req Request) Response {
+	cmd := command{req: req, reply: make(chan Response, 1)}
+	select {
+	case s.cmds <- cmd:
+		return <-cmd.reply
+	case <-s.closing:
+		return Response{OK: false, Error: ErrServerClosed.Error()}
+	}
+}
+
+// stateLoop owns the engine, queue and event table. It interleaves command
+// processing with scheduling rounds: whenever the queue is non-empty it
+// keeps running rounds, checking for new commands between rounds.
+func (s *Server) stateLoop() {
+	defer s.loop.Done()
+	events := make(map[int64]*core.Event)
+	var order []int64
+	var nextID int64 = 1
+
+	handle := func(cmd command) {
+		cmd.reply <- s.handleRequest(cmd.req, events, &order, &nextID)
+	}
+
+	for {
+		// Block for work when idle; poll between rounds otherwise.
+		if s.engine.QueueLen() == 0 {
+			select {
+			case cmd := <-s.cmds:
+				handle(cmd)
+			case <-s.closing:
+				return
+			}
+			continue
+		}
+		select {
+		case cmd := <-s.cmds:
+			handle(cmd)
+		case <-s.closing:
+			return
+		default:
+			if _, err := s.engine.Step(); err != nil {
+				// An executing event hit a hard error (invalid spec got
+				// through validation, ledger bug): surface it loudly on
+				// the next status/stats call rather than dying silently.
+				panic(fmt.Sprintf("ctl: scheduling round: %v", err))
+			}
+		}
+	}
+}
+
+// handleRequest executes one request against the state (state loop only).
+func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order *[]int64, nextID *int64) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{OK: true}
+
+	case OpSubmit:
+		if err := req.Event.Validate(s.numNodes); err != nil {
+			return Response{OK: false, Error: err.Error()}
+		}
+		id := *nextID
+		*nextID++
+		specs := make([]flow.Spec, len(req.Event.Flows))
+		for i, f := range req.Event.Flows {
+			specs[i] = flow.Spec{
+				Src:    topology.NodeID(f.Src),
+				Dst:    topology.NodeID(f.Dst),
+				Demand: topology.Bandwidth(f.DemandBps),
+				Size:   f.SizeBytes,
+			}
+		}
+		kind := req.Event.Kind
+		if kind == "" {
+			kind = "submitted"
+		}
+		ev := core.NewEvent(flow.EventID(id), kind, s.engine.Clock(), specs)
+		events[id] = ev
+		*order = append(*order, id)
+		s.engine.Enqueue(ev)
+		return Response{OK: true, EventID: id}
+
+	case OpStatus:
+		ev, ok := events[req.EventID]
+		if !ok {
+			return Response{OK: true, Status: &EventStatus{EventID: req.EventID, State: StateUnknown}}
+		}
+		st := statusOf(req.EventID, ev)
+		return Response{OK: true, Status: &st}
+
+	case OpResults:
+		var results []EventStatus
+		for _, id := range *order {
+			if ev := events[id]; ev.Done {
+				results = append(results, statusOf(id, ev))
+			}
+		}
+		return Response{OK: true, Results: results}
+
+	case OpSnapshot:
+		return Response{OK: true, Snapshot: snapshot.Capture(s.planner.Network())}
+
+	case OpStats:
+		col := s.engine.Collector()
+		net := s.planner.Network()
+		return Response{OK: true, Stats: &Stats{
+			Scheduler:       s.scheduler,
+			Utilization:     net.Utilization(),
+			FlowsPlaced:     len(net.Registry().Placed()),
+			EventsQueued:    s.engine.QueueLen(),
+			EventsDone:      col.Len(),
+			TotalCostBps:    int64(col.TotalCost()),
+			AvgECT:          col.AvgECT(),
+			TailECT:         col.TailECT(),
+			AvgQueuingDelay: col.AvgQueuingDelay(),
+			PlanTime:        col.PlanTime,
+			VirtualClock:    s.engine.Clock(),
+		}}
+
+	default:
+		return Response{OK: false, Error: fmt.Sprintf("%v: unknown op %q", ErrBadRequest, req.Op)}
+	}
+}
+
+// statusOf renders an event's current status.
+func statusOf(id int64, ev *core.Event) EventStatus {
+	st := EventStatus{
+		EventID: id,
+		State:   StateQueued,
+		Kind:    ev.Kind,
+		Flows:   ev.NumFlows(),
+	}
+	if ev.Done {
+		st.State = StateDone
+		st.Admitted = len(ev.Flows)
+		st.Failed = len(ev.FailedSpecs)
+		st.CostBps = int64(ev.CostAtExec)
+		st.QueuingDelay = ev.QueuingDelay()
+		st.ECT = ev.ECT()
+	}
+	return st
+}

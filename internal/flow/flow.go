@@ -1,0 +1,102 @@
+// Package flow models network flows and indexes them by the links they
+// occupy. The link index answers the central query of Definition 1 of the
+// paper: given a congested link, which existing flows (the set F_A) could
+// be migrated away to free bandwidth?
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+// ID uniquely identifies a flow within a Network. IDs are assigned by the
+// Registry in increasing order, so they double as arrival order.
+type ID int64
+
+// InvalidID is the zero-value "no flow" sentinel.
+const InvalidID ID = -1
+
+// EventID identifies the update event a flow belongs to. Real events use
+// IDs >= 1; the zero value means "no event", so a zero flow.Spec describes
+// background traffic.
+type EventID int64
+
+// NoEvent marks background flows that belong to no update event.
+const NoEvent EventID = 0
+
+// Flow is a single unsplittable flow: it traverses exactly one path and
+// consumes its full demand on every link of that path (the congestion-free
+// constraints of Section III-A).
+type Flow struct {
+	// ID is the registry-assigned identity.
+	ID ID
+	// Src and Dst are the endpoint hosts.
+	Src topology.NodeID
+	Dst topology.NodeID
+	// Demand is the bandwidth the flow consumes on every traversed link.
+	Demand topology.Bandwidth
+	// Size is the number of payload bytes the flow must transfer. Together
+	// with Demand it determines the transfer time.
+	Size int64
+	// Event is the update event this flow belongs to (NoEvent for
+	// background traffic).
+	Event EventID
+
+	// path is the currently assigned route; zero when unplaced.
+	path routing.Path
+	// placed records whether the flow currently holds reservations.
+	placed bool
+}
+
+// Spec describes a flow before it is registered: the immutable part of a
+// Flow. Trace generators produce Specs; the Registry turns them into Flows.
+type Spec struct {
+	Src    topology.NodeID
+	Dst    topology.NodeID
+	Demand topology.Bandwidth
+	Size   int64
+	Event  EventID
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	if s.Src == s.Dst {
+		return fmt.Errorf("flow spec: src == dst (%d)", int(s.Src))
+	}
+	if s.Demand <= 0 {
+		return fmt.Errorf("flow spec: non-positive demand %d", int64(s.Demand))
+	}
+	if s.Size < 0 {
+		return fmt.Errorf("flow spec: negative size %d", s.Size)
+	}
+	return nil
+}
+
+// Path returns the flow's current route (zero when unplaced).
+func (f *Flow) Path() routing.Path { return f.path }
+
+// Placed reports whether the flow currently holds link reservations.
+func (f *Flow) Placed() bool { return f.placed }
+
+// TransferTime returns how long the flow takes to move Size bytes at its
+// demand rate. Zero-size flows (pure rule updates) transfer instantly.
+func (f *Flow) TransferTime() time.Duration {
+	if f.Size == 0 || f.Demand <= 0 {
+		return 0
+	}
+	bits := f.Size * 8
+	sec := float64(bits) / float64(f.Demand)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// String implements fmt.Stringer.
+func (f *Flow) String() string {
+	state := "unplaced"
+	if f.placed {
+		state = "placed"
+	}
+	return fmt.Sprintf("flow#%d(%d->%d %v %s)", int64(f.ID), int(f.Src), int(f.Dst), f.Demand, state)
+}

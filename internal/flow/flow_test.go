@@ -1,0 +1,62 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"netupdate/internal/topology"
+)
+
+func TestSpecValidate(t *testing.T) {
+	valid := Spec{Src: 0, Dst: 1, Demand: topology.Mbps, Size: 100}
+	tests := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr bool
+	}{
+		{"valid", func(*Spec) {}, false},
+		{"zero size ok", func(s *Spec) { s.Size = 0 }, false},
+		{"src==dst", func(s *Spec) { s.Dst = s.Src }, true},
+		{"zero demand", func(s *Spec) { s.Demand = 0 }, true},
+		{"negative demand", func(s *Spec) { s.Demand = -1 }, true},
+		{"negative size", func(s *Spec) { s.Size = -1 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := valid
+			tt.mutate(&s)
+			if err := s.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	tests := []struct {
+		name   string
+		demand topology.Bandwidth
+		size   int64
+		want   time.Duration
+	}{
+		{"1MB at 8Mbps = 1s", 8 * topology.Mbps, 1e6, time.Second},
+		{"zero size", topology.Gbps, 0, 0},
+		{"125KB at 1Mbps = 1s", topology.Mbps, 125_000, time.Second},
+		{"small flow sub-second", topology.Gbps, 125_000, time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := &Flow{Demand: tt.demand, Size: tt.size}
+			if got := f.TransferTime(); got != tt.want {
+				t.Errorf("TransferTime() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	f := &Flow{ID: 3, Src: 1, Dst: 2, Demand: topology.Mbps}
+	if got := f.String(); got == "" {
+		t.Error("String() empty")
+	}
+}

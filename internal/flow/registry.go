@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+// Registry errors.
+var (
+	// ErrUnknownFlow is returned for IDs that were never registered or
+	// were already removed.
+	ErrUnknownFlow = errors.New("unknown flow")
+	// ErrAlreadyPlaced is returned when binding a path to a flow that
+	// already holds one.
+	ErrAlreadyPlaced = errors.New("flow already placed")
+	// ErrNotPlaced is returned when unbinding a flow that holds no path.
+	ErrNotPlaced = errors.New("flow not placed")
+)
+
+// Registry owns all live flows and maintains the inverted index from links
+// to the flows traversing them. It performs no bandwidth accounting — that
+// stays in topology.Graph; netstate.Network keeps the two consistent.
+type Registry struct {
+	next  ID
+	flows map[ID]*Flow
+	// onLink indexes flows by every link of their placed path.
+	onLink map[topology.LinkID]map[ID]*Flow
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		flows:  make(map[ID]*Flow),
+		onLink: make(map[topology.LinkID]map[ID]*Flow),
+	}
+}
+
+// Add registers a new, unplaced flow built from spec and returns it.
+func (r *Registry) Add(spec Spec) (*Flow, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Flow{
+		ID:     r.next,
+		Src:    spec.Src,
+		Dst:    spec.Dst,
+		Demand: spec.Demand,
+		Size:   spec.Size,
+		Event:  spec.Event,
+	}
+	r.next++
+	r.flows[f.ID] = f
+	return f, nil
+}
+
+// Get returns the flow with the given ID.
+func (r *Registry) Get(id ID) (*Flow, error) {
+	f, ok := r.flows[id]
+	if !ok {
+		return nil, fmt.Errorf("flow %d: %w", int64(id), ErrUnknownFlow)
+	}
+	return f, nil
+}
+
+// Len returns the number of registered flows (placed or not).
+func (r *Registry) Len() int { return len(r.flows) }
+
+// Bind records that f now routes over path, updating the link index.
+// The caller is responsible for having reserved bandwidth first.
+func (r *Registry) Bind(f *Flow, path routing.Path) error {
+	if _, ok := r.flows[f.ID]; !ok {
+		return fmt.Errorf("bind %v: %w", f, ErrUnknownFlow)
+	}
+	if f.placed {
+		return fmt.Errorf("bind %v: %w", f, ErrAlreadyPlaced)
+	}
+	f.path = path
+	f.placed = true
+	for _, l := range path.Links() {
+		m := r.onLink[l]
+		if m == nil {
+			m = make(map[ID]*Flow)
+			r.onLink[l] = m
+		}
+		m[f.ID] = f
+	}
+	return nil
+}
+
+// Unbind removes f's path binding, updating the link index. The caller is
+// responsible for releasing the bandwidth reservations.
+func (r *Registry) Unbind(f *Flow) error {
+	if _, ok := r.flows[f.ID]; !ok {
+		return fmt.Errorf("unbind %v: %w", f, ErrUnknownFlow)
+	}
+	if !f.placed {
+		return fmt.Errorf("unbind %v: %w", f, ErrNotPlaced)
+	}
+	for _, l := range f.path.Links() {
+		delete(r.onLink[l], f.ID)
+		if len(r.onLink[l]) == 0 {
+			delete(r.onLink, l)
+		}
+	}
+	f.path = routing.Path{}
+	f.placed = false
+	return nil
+}
+
+// Remove deletes the flow from the registry entirely. Placed flows are
+// unbound first.
+func (r *Registry) Remove(f *Flow) error {
+	if _, ok := r.flows[f.ID]; !ok {
+		return fmt.Errorf("remove %v: %w", f, ErrUnknownFlow)
+	}
+	if f.placed {
+		if err := r.Unbind(f); err != nil {
+			return err
+		}
+	}
+	delete(r.flows, f.ID)
+	return nil
+}
+
+// FlowsOn returns the flows currently routed over the given link, sorted
+// by ID so that iteration is deterministic. The slice is freshly allocated.
+func (r *Registry) FlowsOn(link topology.LinkID) []*Flow {
+	m := r.onLink[link]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*Flow, 0, len(m))
+	for _, f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumFlowsOn returns how many flows traverse the given link.
+func (r *Registry) NumFlowsOn(link topology.LinkID) int {
+	return len(r.onLink[link])
+}
+
+// All returns every registered flow sorted by ID.
+func (r *Registry) All() []*Flow {
+	out := make([]*Flow, 0, len(r.flows))
+	for _, f := range r.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Placed returns every placed flow sorted by ID.
+func (r *Registry) Placed() []*Flow {
+	out := make([]*Flow, 0, len(r.flows))
+	for _, f := range r.flows {
+		if f.placed {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,227 @@
+// Package metrics collects per-event outcomes of a simulation run and
+// computes the evaluation metrics of Section V-A: total update cost,
+// average ECT, tail ECT, total plan time, and event queuing delay
+// (average, worst-case and per-event).
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/topology"
+)
+
+// EventRecord captures one completed update event.
+type EventRecord struct {
+	// Event identifies the event.
+	Event flow.EventID
+	// Kind is the event's label.
+	Kind string
+	// Flows is the number of flows the event admitted; Failed counts
+	// specs that could not be admitted.
+	Flows  int
+	Failed int
+	// Arrival, Start and Completion are virtual times.
+	Arrival    time.Duration
+	Start      time.Duration
+	Completion time.Duration
+	// Cost is the realized Cost(U) — migrated traffic.
+	Cost topology.Bandwidth
+	// PlanEvals is the planning work attributable to this event
+	// (decision probes are accounted separately on the Collector).
+	PlanEvals int
+}
+
+// ECT is the event completion time (completion - arrival).
+func (r EventRecord) ECT() time.Duration { return r.Completion - r.Arrival }
+
+// QueuingDelay is the time spent waiting in the update queue.
+func (r EventRecord) QueuingDelay() time.Duration { return r.Start - r.Arrival }
+
+// Collector accumulates event records and scheduler-level counters over
+// one simulation run.
+type Collector struct {
+	records []EventRecord
+	// DecisionEvals counts planning work spent inside scheduler decisions
+	// (LMTF/P-LMTF probes, Reorder scans).
+	DecisionEvals int
+	// PlanTime is the total simulated planning time of the run.
+	PlanTime time.Duration
+	// Makespan is the virtual time at which the run finished.
+	Makespan time.Duration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends a completed event record.
+func (c *Collector) Add(r EventRecord) { c.records = append(c.records, r) }
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns a copy of all records in completion order.
+func (c *Collector) Records() []EventRecord {
+	out := make([]EventRecord, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// TotalCost sums Cost(U) over all events (Fig. 6a).
+func (c *Collector) TotalCost() topology.Bandwidth {
+	var total topology.Bandwidth
+	for _, r := range c.records {
+		total += r.Cost
+	}
+	return total
+}
+
+// TotalPlanEvals sums per-event planning work plus decision probes.
+func (c *Collector) TotalPlanEvals() int {
+	total := c.DecisionEvals
+	for _, r := range c.records {
+		total += r.PlanEvals
+	}
+	return total
+}
+
+// AvgECT is the mean event completion time (Figs. 4–7).
+func (c *Collector) AvgECT() time.Duration {
+	return meanDuration(c.ects())
+}
+
+// TailECT is the maximum event completion time. With the paper's queue
+// sizes (10–50 events) the tail is effectively the worst case.
+func (c *Collector) TailECT() time.Duration {
+	return maxDuration(c.ects())
+}
+
+// PercentileECT returns the p-th percentile (0 < p <= 100) of ECTs using
+// nearest-rank on the sorted sample.
+func (c *Collector) PercentileECT(p float64) time.Duration {
+	return percentile(c.ects(), p)
+}
+
+// AvgQueuingDelay is the mean event queuing delay (Fig. 8).
+func (c *Collector) AvgQueuingDelay() time.Duration {
+	return meanDuration(c.delays())
+}
+
+// WorstQueuingDelay is the maximum event queuing delay (Fig. 8).
+func (c *Collector) WorstQueuingDelay() time.Duration {
+	return maxDuration(c.delays())
+}
+
+// QueuingDelays returns each event's queuing delay indexed by arrival
+// order (Fig. 9 plots these per event).
+func (c *Collector) QueuingDelays() []time.Duration {
+	byArrival := c.Records()
+	sort.SliceStable(byArrival, func(i, j int) bool {
+		if byArrival[i].Arrival != byArrival[j].Arrival {
+			return byArrival[i].Arrival < byArrival[j].Arrival
+		}
+		return byArrival[i].Event < byArrival[j].Event
+	})
+	out := make([]time.Duration, len(byArrival))
+	for i, r := range byArrival {
+		out[i] = r.QueuingDelay()
+	}
+	return out
+}
+
+// TotalFailed counts flows that could not be admitted across all events.
+func (c *Collector) TotalFailed() int {
+	total := 0
+	for _, r := range c.records {
+		total += r.Failed
+	}
+	return total
+}
+
+func (c *Collector) ects() []time.Duration {
+	out := make([]time.Duration, len(c.records))
+	for i, r := range c.records {
+		out[i] = r.ECT()
+	}
+	return out
+}
+
+func (c *Collector) delays() []time.Duration {
+	out := make([]time.Duration, len(c.records))
+	for i, r := range c.records {
+		out[i] = r.QueuingDelay()
+	}
+	return out
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total / time.Duration(len(ds))
+}
+
+func maxDuration(ds []time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Reduction returns the fractional reduction of value relative to base:
+// 1 - value/base (0 when base is 0). The paper reports most results as
+// reductions against FIFO.
+func Reduction(base, value time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(value)/float64(base)
+}
+
+// ReductionB is Reduction for bandwidth-valued metrics (total cost).
+func ReductionB(base, value topology.Bandwidth) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(value)/float64(base)
+}
+
+// Speedup returns base/value (how many times faster value is), 0 when
+// value is 0. The paper's "up to 10x faster" claims are speedups.
+func Speedup(base, value time.Duration) float64 {
+	if value == 0 {
+		return 0
+	}
+	return float64(base) / float64(value)
+}

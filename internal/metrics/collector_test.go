@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/topology"
+)
+
+func sampleCollector() *Collector {
+	c := NewCollector()
+	// Three events arriving at t=0: ECTs 2s, 4s, 9s; delays 1s, 3s, 5s.
+	rows := []struct {
+		id               int
+		start, completed time.Duration
+		cost             topology.Bandwidth
+		evals            int
+		failed           int
+	}{
+		{1, 1 * time.Second, 2 * time.Second, 100 * topology.Mbps, 10, 0},
+		{2, 3 * time.Second, 4 * time.Second, 200 * topology.Mbps, 20, 1},
+		{3, 5 * time.Second, 9 * time.Second, 300 * topology.Mbps, 30, 0},
+	}
+	for _, r := range rows {
+		c.Add(EventRecord{
+			Event: flow.EventID(r.id), Kind: "test", Flows: 2, Failed: r.failed,
+			Arrival: 0, Start: r.start, Completion: r.completed,
+			Cost: r.cost, PlanEvals: r.evals,
+		})
+	}
+	c.DecisionEvals = 5
+	return c
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := sampleCollector()
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if got, want := c.AvgECT(), 5*time.Second; got != want {
+		t.Errorf("AvgECT = %v, want %v", got, want)
+	}
+	if got, want := c.TailECT(), 9*time.Second; got != want {
+		t.Errorf("TailECT = %v, want %v", got, want)
+	}
+	if got, want := c.TotalCost(), 600*topology.Mbps; got != want {
+		t.Errorf("TotalCost = %v, want %v", got, want)
+	}
+	if got, want := c.TotalPlanEvals(), 65; got != want {
+		t.Errorf("TotalPlanEvals = %d, want %d", got, want)
+	}
+	if got, want := c.AvgQueuingDelay(), 3*time.Second; got != want {
+		t.Errorf("AvgQueuingDelay = %v, want %v", got, want)
+	}
+	if got, want := c.WorstQueuingDelay(), 5*time.Second; got != want {
+		t.Errorf("WorstQueuingDelay = %v, want %v", got, want)
+	}
+	if got := c.TotalFailed(); got != 1 {
+		t.Errorf("TotalFailed = %d, want 1", got)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	if c.AvgECT() != 0 || c.TailECT() != 0 || c.TotalCost() != 0 ||
+		c.AvgQueuingDelay() != 0 || c.WorstQueuingDelay() != 0 {
+		t.Error("empty collector returned nonzero aggregates")
+	}
+	if c.PercentileECT(99) != 0 {
+		t.Error("empty PercentileECT != 0")
+	}
+	if got := c.QueuingDelays(); len(got) != 0 {
+		t.Errorf("QueuingDelays = %v, want empty", got)
+	}
+}
+
+func TestPercentileECT(t *testing.T) {
+	c := sampleCollector()
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{100, 9 * time.Second},
+		{50, 4 * time.Second},
+		{1, 2 * time.Second},
+		{-5, 2 * time.Second},  // clamped up
+		{150, 9 * time.Second}, // clamped down
+	}
+	for _, tt := range tests {
+		if got := c.PercentileECT(tt.p); got != tt.want {
+			t.Errorf("PercentileECT(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestQueuingDelaysByArrivalOrder(t *testing.T) {
+	c := NewCollector()
+	// Completion order differs from arrival order.
+	c.Add(EventRecord{Event: 2, Arrival: 2 * time.Second, Start: 10 * time.Second, Completion: 11 * time.Second})
+	c.Add(EventRecord{Event: 1, Arrival: 1 * time.Second, Start: 4 * time.Second, Completion: 5 * time.Second})
+	got := c.QueuingDelays()
+	want := []time.Duration{3 * time.Second, 8 * time.Second}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("QueuingDelays[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordsIsCopy(t *testing.T) {
+	c := sampleCollector()
+	recs := c.Records()
+	recs[0].Cost = 0
+	if c.Records()[0].Cost == 0 {
+		t.Error("mutating Records() copy changed collector state")
+	}
+}
+
+func TestReductionAndSpeedup(t *testing.T) {
+	if got := Reduction(10*time.Second, 4*time.Second); got != 0.6 {
+		t.Errorf("Reduction = %v, want 0.6", got)
+	}
+	if got := Reduction(0, time.Second); got != 0 {
+		t.Errorf("Reduction(0, x) = %v, want 0", got)
+	}
+	if got := ReductionB(100*topology.Mbps, 25*topology.Mbps); got != 0.75 {
+		t.Errorf("ReductionB = %v, want 0.75", got)
+	}
+	if got := ReductionB(0, topology.Mbps); got != 0 {
+		t.Errorf("ReductionB(0, x) = %v, want 0", got)
+	}
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Errorf("Speedup = %v, want 5", got)
+	}
+	if got := Speedup(time.Second, 0); got != 0 {
+		t.Errorf("Speedup(x, 0) = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "col-a", "b")
+	tb.AddRow("x", 1.23456)
+	tb.AddRow("longer-cell", 2)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+	if tb.Title() != "Fig X" {
+		t.Errorf("Title = %q", tb.Title())
+	}
+	out := tb.String()
+	for _, want := range []string{"Fig X", "col-a", "1.235", "longer-cell", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("title ignored", "a", "b")
+	tb.AddRow("x,with comma", 1.5)
+	tb.AddRow("y", 2)
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n\"x,with comma\",1.500\ny,2\n"
+	if got != want {
+		t.Errorf("WriteCSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,101 @@
+package migration_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+// TestAdmitOnLeafSpineWithYen exercises the migration slow path on a
+// non-fat-tree fabric routed by Yen k-shortest paths: load the spine
+// trunks unevenly, then admit flows that need victims migrated.
+func TestAdmitOnLeafSpineWithYen(t *testing.T) {
+	ls, err := topology.NewLeafSpine(4, 2, 3, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ls.Graph()
+	net := netstate.New(g, routing.NewKShortestProvider(g, 6), routing.NewRandomFit(3))
+
+	// Load with random flows until moderately full.
+	rng := rand.New(rand.NewSource(8))
+	hosts := ls.Hosts()
+	placed := 0
+	for i := 0; i < 400; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := src
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		f, err := net.AddFlow(flow.Spec{
+			Src: src, Dst: dst,
+			Demand: topology.Bandwidth(10+rng.Intn(90)) * topology.Mbps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.PlaceBest(f); err != nil {
+			if rmErr := net.Remove(f); rmErr != nil {
+				t.Fatal(rmErr)
+			}
+			continue
+		}
+		placed++
+	}
+	if net.Utilization() < 0.3 {
+		t.Fatalf("fabric underloaded: %.2f", net.Utilization())
+	}
+
+	p := migration.NewPlanner(net, 0)
+	admitted, migrated, failed := 0, 0, 0
+	for i := 0; i < 150; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := src
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		f, err := net.AddFlow(flow.Spec{
+			Src: src, Dst: dst,
+			Demand: topology.Bandwidth(50+rng.Intn(150)) * topology.Mbps,
+			Event:  1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, admitErr := p.Admit(f)
+		switch {
+		case admitErr == nil:
+			admitted++
+			if len(res.Moves) > 0 {
+				migrated++
+			}
+		case errors.Is(admitErr, migration.ErrCannotAdmit) || errors.Is(admitErr, netstate.ErrNoFeasiblePath):
+			failed++
+			if err := net.Remove(f); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unexpected error: %v", admitErr)
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted on leaf-spine")
+	}
+	if migrated == 0 {
+		t.Error("no slow-path migration exercised on leaf-spine (adjust load)")
+	}
+	// Congestion-freedom held.
+	for i := 0; i < g.NumLinks(); i++ {
+		if l := g.Link(topology.LinkID(i)); l.Residual() < 0 {
+			t.Fatalf("link %v over capacity", l)
+		}
+	}
+	t.Logf("leaf-spine: placed=%d admitted=%d migrated=%d failed=%d util=%.2f",
+		placed, admitted, migrated, failed, net.Utilization())
+}

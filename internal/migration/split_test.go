@@ -1,0 +1,182 @@
+package migration
+
+import (
+	"errors"
+	"testing"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+// splitScenario: the 800 Mbps victim on the u->v bottleneck has two
+// detours of only 500 Mbps capacity each — no single detour fits, but a
+// two-way split does.
+//
+//	a -> u -> v -> b          (event flow route, 1 Gbps)
+//	c -> u -> v -> d          (victim, 800 Mbps)
+//	c -> w1 -> d, c -> w2 -> d (500 Mbps detours)
+func splitScenario(t *testing.T) (*netstate.Network, *topology.Graph, *flow.Flow, topology.NodeID, topology.NodeID, topology.LinkID) {
+	t.Helper()
+	g := topology.NewGraph()
+	a := g.AddNode(topology.KindHost, "a")
+	b := g.AddNode(topology.KindHost, "b")
+	c := g.AddNode(topology.KindHost, "c")
+	d := g.AddNode(topology.KindHost, "d")
+	u := g.AddNode(topology.KindEdgeSwitch, "u")
+	v := g.AddNode(topology.KindEdgeSwitch, "v")
+	link := func(x, y topology.NodeID, cap_ topology.Bandwidth) topology.LinkID {
+		id, err := g.AddLink(x, y, cap_)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	link(a, u, topology.Gbps)
+	uv := link(u, v, topology.Gbps)
+	link(v, b, topology.Gbps)
+	cu := link(c, u, 2*topology.Gbps) // fat access link: carries victim + split halves
+	vd := link(v, d, topology.Gbps)
+	for _, name := range []string{"w1", "w2"} {
+		w := g.AddNode(topology.KindEdgeSwitch, name)
+		link(c, w, 500*topology.Mbps)
+		wd := link(w, d, 500*topology.Mbps)
+		_ = wd
+	}
+	// c's access to w1/w2 is capped at 500M each, d's ingress from them too.
+
+	net := netstate.New(g, routing.NewBFSProvider(g, 0), routing.WidestFit{})
+	victim, err := net.AddFlow(flow.Spec{Src: c, Dst: d, Demand: 800 * topology.Mbps, Size: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := routing.NewPath(g, []topology.LinkID{cu, uv, vd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Place(victim, path); err != nil {
+		t.Fatal(err)
+	}
+	return net, g, victim, a, b, uv
+}
+
+func TestSplitDisabledFails(t *testing.T) {
+	net, _, _, a, b, _ := splitScenario(t)
+	p := NewPlanner(net, 0)
+	f, err := net.AddFlow(flow.Spec{Src: a, Dst: b, Demand: 500 * topology.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit(f); !errors.Is(err, ErrCannotAdmit) {
+		t.Fatalf("Admit without split error = %v, want ErrCannotAdmit", err)
+	}
+}
+
+func TestSplitMigration(t *testing.T) {
+	net, g, victim, a, b, uv := splitScenario(t)
+	p := NewPlanner(net, 0)
+	p.SetAllowSplit(true)
+	f, err := net.AddFlow(flow.Spec{Src: a, Dst: b, Demand: 500 * topology.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Admit(f)
+	if err != nil {
+		t.Fatalf("Admit with split: %v", err)
+	}
+	if len(res.Moves) != 1 || !res.Moves[0].Split() {
+		t.Fatalf("Moves = %+v, want one split move", res.Moves)
+	}
+	if res.MigratedTraffic != 800*topology.Mbps {
+		t.Errorf("cost = %v, want 800Mbps", res.MigratedTraffic)
+	}
+	if victim.Placed() {
+		t.Error("split victim still placed as one flow")
+	}
+	if !f.Placed() || !f.Path().Contains(uv) {
+		t.Error("trigger flow not placed over cleared bottleneck")
+	}
+	// Two children carry the victim's demand off the bottleneck.
+	var childDemand topology.Bandwidth
+	children := 0
+	for _, fl := range net.Registry().Placed() {
+		if fl == f {
+			continue
+		}
+		if fl.Src == victim.Src && fl.Dst == victim.Dst {
+			children++
+			childDemand += fl.Demand
+			if fl.Path().Contains(uv) {
+				t.Error("split child routed over the bottleneck")
+			}
+		}
+	}
+	if children != 2 || childDemand != 800*topology.Mbps {
+		t.Errorf("children = %d carrying %v, want 2 carrying 800Mbps", children, childDemand)
+	}
+	// No link over capacity anywhere.
+	for i := 0; i < g.NumLinks(); i++ {
+		if l := g.Link(topology.LinkID(i)); l.Residual() < 0 {
+			t.Errorf("link %v over capacity", l)
+		}
+	}
+}
+
+func TestSplitRollbackRestoresExactly(t *testing.T) {
+	net, g, victim, a, b, _ := splitScenario(t)
+	p := NewPlanner(net, 0)
+	p.SetAllowSplit(true)
+
+	before := make([]topology.Bandwidth, g.NumLinks())
+	for i := range before {
+		before[i] = g.Link(topology.LinkID(i)).Reserved()
+	}
+	regBefore := net.Registry().Len()
+	victimPath := victim.Path()
+
+	f, err := net.AddFlow(flow.Spec{Src: a, Dst: b, Demand: 500 * topology.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Admit(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rollback(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Remove(f); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if got := g.Link(topology.LinkID(i)).Reserved(); got != before[i] {
+			t.Fatalf("link %d reserved = %v, want %v after rollback", i, got, before[i])
+		}
+	}
+	if got := net.Registry().Len(); got != regBefore {
+		t.Errorf("registry = %d flows, want %d (children removed)", got, regBefore)
+	}
+	if !victim.Placed() || !victim.Path().Equal(victimPath) {
+		t.Error("victim not restored to original path")
+	}
+}
+
+func TestSplitRefusesEventFlows(t *testing.T) {
+	net, _, victim, a, b, _ := splitScenario(t)
+	// Make the victim an event flow: splitting must be refused (the
+	// simulator tracks event flows by identity for release bookkeeping).
+	victim.Event = 3
+	p := NewPlanner(net, 0)
+	p.SetAllowSplit(true)
+	f, err := net.AddFlow(flow.Spec{Src: a, Dst: b, Demand: 500 * topology.Mbps, Event: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit(f); !errors.Is(err, ErrCannotAdmit) {
+		t.Fatalf("Admit error = %v, want ErrCannotAdmit (event victims unsplittable)", err)
+	}
+	if !victim.Placed() {
+		t.Error("victim disturbed by refused split")
+	}
+}

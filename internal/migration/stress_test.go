@@ -1,0 +1,176 @@
+package migration_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+// stressEnv builds a loaded k=4 fat-tree with random-fit placement (hot
+// links) so admissions regularly exercise the migration slow path.
+func stressEnv(t *testing.T, seed int64, util float64) (*netstate.Network, *trace.Generator) {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(seed+7))
+	gen, err := trace.NewGenerator(seed, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.FillBackground(net, gen, util, 0); err != nil {
+		t.Fatal(err)
+	}
+	return net, gen
+}
+
+// checkInvariants asserts the global safety properties of the network.
+func checkInvariants(t *testing.T, net *netstate.Network) {
+	t.Helper()
+	g := net.Graph()
+	// 1. Congestion-freedom: no link over capacity.
+	reserved := make(map[topology.LinkID]topology.Bandwidth)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		if l.Residual() < 0 {
+			t.Fatalf("link %v over capacity", l)
+		}
+		reserved[l.ID] = l.Reserved()
+	}
+	// 2. Ledger = sum of placed flows' demands per link.
+	sums := make(map[topology.LinkID]topology.Bandwidth)
+	for _, f := range net.Registry().Placed() {
+		for _, l := range f.Path().Links() {
+			sums[l] += f.Demand
+		}
+	}
+	for id, want := range reserved {
+		if got := sums[id]; got != want {
+			t.Fatalf("link %d: ledger %v != placed-flow sum %v", int(id), want, got)
+		}
+	}
+}
+
+// TestAdmitStress drives hundreds of admissions at several utilizations
+// and strategies, checking invariants after every operation class.
+func TestAdmitStress(t *testing.T) {
+	for _, util := range []float64{0.3, 0.5, 0.65} {
+		for _, strategy := range []migration.Strategy{migration.StrategyDensity, migration.StrategySmallest, migration.StrategyLargest} {
+			net, gen := stressEnv(t, int64(util*100)+int64(strategy), util)
+			p := migration.NewPlanner(net, strategy)
+			rng := rand.New(rand.NewSource(99))
+
+			admitted, migrated, failed := 0, 0, 0
+			var live []*flow.Flow
+			for i := 0; i < 300; i++ {
+				spec := gen.Spec()
+				spec.Event = flow.EventID(i%7 + 1)
+				f, err := net.AddFlow(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, admitErr := p.Admit(f)
+				switch {
+				case admitErr == nil:
+					admitted++
+					if len(res.Moves) > 0 {
+						migrated++
+					}
+					live = append(live, f)
+				case errors.Is(admitErr, migration.ErrCannotAdmit) || errors.Is(admitErr, netstate.ErrNoFeasiblePath):
+					failed++
+					if err := net.Remove(f); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					t.Fatalf("unexpected admit error: %v", admitErr)
+				}
+				// Occasionally retire an admitted flow.
+				if len(live) > 0 && rng.Intn(4) == 0 {
+					j := rng.Intn(len(live))
+					if err := net.Remove(live[j]); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:j], live[j+1:]...)
+				}
+			}
+			checkInvariants(t, net)
+			if admitted == 0 {
+				t.Errorf("util %.2f %v: nothing admitted", util, strategy)
+			}
+			if util >= 0.6 && migrated == 0 {
+				t.Errorf("util %.2f %v: no admission required migration (slow path untested)", util, strategy)
+			}
+			t.Logf("util %.2f %v: admitted=%d (with migration %d) failed=%d",
+				util, strategy, admitted, migrated, failed)
+		}
+	}
+}
+
+// TestProbeStressLeavesStateIntact runs admit+rollback cycles and checks
+// the state is byte-identical each time.
+func TestProbeStressLeavesStateIntact(t *testing.T) {
+	net, gen := stressEnv(t, 5, 0.6)
+	g := net.Graph()
+	p := migration.NewPlanner(net, 0)
+
+	before := make([]topology.Bandwidth, g.NumLinks())
+	for i := range before {
+		before[i] = g.Link(topology.LinkID(i)).Reserved()
+	}
+	regBefore := net.Registry().Len()
+	pathsBefore := make(map[flow.ID]routingPathKey)
+	for _, f := range net.Registry().Placed() {
+		pathsBefore[f.ID] = pathKey(f)
+	}
+
+	for i := 0; i < 200; i++ {
+		spec := gen.Spec()
+		spec.Event = 1
+		f, err := net.AddFlow(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res, admitErr := p.Admit(f); admitErr == nil {
+			if err := p.Rollback(res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := net.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := range before {
+		if got := g.Link(topology.LinkID(i)).Reserved(); got != before[i] {
+			t.Fatalf("link %d reserved drifted: %v != %v", i, got, before[i])
+		}
+	}
+	if got := net.Registry().Len(); got != regBefore {
+		t.Fatalf("registry drifted: %d != %d", got, regBefore)
+	}
+	for _, f := range net.Registry().Placed() {
+		if pathKey(f) != pathsBefore[f.ID] {
+			t.Fatalf("flow %v path drifted", f)
+		}
+	}
+}
+
+// routingPathKey is a comparable digest of a path's link sequence.
+type routingPathKey string
+
+func pathKey(f *flow.Flow) routingPathKey {
+	key := make([]byte, 0, 4*f.Path().Len())
+	for _, l := range f.Path().Links() {
+		key = append(key, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return routingPathKey(key)
+}

@@ -1,0 +1,105 @@
+package routing
+
+import (
+	"math/rand"
+
+	"netupdate/internal/topology"
+)
+
+// Selector picks a concrete path for a demand from a candidate set.
+// Implementations must be deterministic given their own state (seeded RNGs
+// included) so simulations are reproducible.
+type Selector interface {
+	// Select returns a path from candidates that can carry demand, and
+	// ok=true; or the zero Path and ok=false when no candidate fits.
+	Select(g *topology.Graph, candidates []Path, demand topology.Bandwidth) (path Path, ok bool)
+}
+
+// FirstFit selects the first candidate with enough residual bandwidth.
+// It mirrors static ECMP-style deterministic placement.
+type FirstFit struct{}
+
+var _ Selector = FirstFit{}
+
+// Select implements Selector.
+func (FirstFit) Select(g *topology.Graph, candidates []Path, demand topology.Bandwidth) (Path, bool) {
+	for _, p := range candidates {
+		if p.Fits(g, demand) {
+			return p, true
+		}
+	}
+	return Path{}, false
+}
+
+// WidestFit selects the feasible candidate with the largest bottleneck
+// residual bandwidth, spreading load across the ECMP set. Ties break
+// toward the earliest candidate, keeping selection deterministic.
+type WidestFit struct{}
+
+var _ Selector = WidestFit{}
+
+// Select implements Selector.
+func (WidestFit) Select(g *topology.Graph, candidates []Path, demand topology.Bandwidth) (Path, bool) {
+	best := -1
+	var bestResidual topology.Bandwidth
+	for i, p := range candidates {
+		r := p.MinResidual(g)
+		if r < demand {
+			continue
+		}
+		if best == -1 || r > bestResidual {
+			best, bestResidual = i, r
+		}
+	}
+	if best == -1 {
+		return Path{}, false
+	}
+	return candidates[best], true
+}
+
+// RandomFit selects uniformly at random among the feasible candidates,
+// modeling hash-based ECMP spraying. It is deterministic under its seed.
+type RandomFit struct {
+	rng *rand.Rand
+}
+
+var _ Selector = (*RandomFit)(nil)
+
+// NewRandomFit returns a RandomFit driven by the given seed.
+func NewRandomFit(seed int64) *RandomFit {
+	return &RandomFit{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Select implements Selector.
+func (s *RandomFit) Select(g *topology.Graph, candidates []Path, demand topology.Bandwidth) (Path, bool) {
+	feasible := make([]int, 0, len(candidates))
+	for i, p := range candidates {
+		if p.Fits(g, demand) {
+			feasible = append(feasible, i)
+		}
+	}
+	if len(feasible) == 0 {
+		return Path{}, false
+	}
+	return candidates[feasible[s.rng.Intn(len(feasible))]], true
+}
+
+// Widest returns the candidate with the largest bottleneck residual
+// regardless of feasibility, plus that residual. It is used to pick the
+// "desired path" a congested flow would take before migration frees room
+// (Definition 1 examines the congested links of that desired path).
+// ok is false only when candidates is empty.
+func Widest(g *topology.Graph, candidates []Path) (path Path, residual topology.Bandwidth, ok bool) {
+	best := -1
+	var bestResidual topology.Bandwidth
+	for i, p := range candidates {
+		r := p.MinResidual(g)
+		if best == -1 || r > bestResidual {
+			best, bestResidual = i, r
+		}
+	}
+	if best == -1 {
+		return Path{}, 0, false
+	}
+	return candidates[best], bestResidual, true
+}

@@ -1,0 +1,141 @@
+// Package rules models the data plane that network updates actually touch:
+// per-switch flow tables holding versioned forwarding entries. The paper's
+// update events ultimately become rule installs and removals at switches
+// (its Section II overview; Reitblatt et al. [2] for the versioning); this
+// package provides the tables, and package consistency builds two-phase
+// update plans over them.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/topology"
+)
+
+// Version tags a generation of a flow's rules. Two-phase updates install
+// version n+1 alongside version n before removing n.
+type Version uint64
+
+// Errors reported by rule tables.
+var (
+	// ErrTableFull is returned when a switch's table capacity (TCAM
+	// size) is exhausted.
+	ErrTableFull = errors.New("rules: table full")
+	// ErrDuplicateEntry is returned when installing an entry that is
+	// already present.
+	ErrDuplicateEntry = errors.New("rules: duplicate entry")
+	// ErrNoSuchEntry is returned when removing an absent entry.
+	ErrNoSuchEntry = errors.New("rules: no such entry")
+	// ErrNotSwitch is returned when addressing a table on a non-switch
+	// node.
+	ErrNotSwitch = errors.New("rules: node is not a switch")
+)
+
+// Key identifies one entry: the flow it matches and the rule generation.
+type Key struct {
+	Flow    flow.ID
+	Version Version
+}
+
+// Entry is one forwarding rule: packets of Flow (generation Version)
+// leave through link NextHop.
+type Entry struct {
+	Key
+	NextHop topology.LinkID
+}
+
+// Table is one switch's flow table.
+type Table struct {
+	node     topology.NodeID
+	capacity int // 0 = unlimited
+	entries  map[Key]Entry
+}
+
+// NewTable returns a table for the given switch with the given capacity
+// (0 = unlimited).
+func NewTable(node topology.NodeID, capacity int) *Table {
+	return &Table{
+		node:     node,
+		capacity: capacity,
+		entries:  make(map[Key]Entry),
+	}
+}
+
+// Node returns the switch this table belongs to.
+func (t *Table) Node() topology.NodeID { return t.node }
+
+// Capacity returns the table's entry capacity (0 = unlimited).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Free returns the remaining entry slots, or -1 for unlimited tables.
+func (t *Table) Free() int {
+	if t.capacity == 0 {
+		return -1
+	}
+	return t.capacity - len(t.entries)
+}
+
+// Install adds an entry. It fails with ErrTableFull at capacity and
+// ErrDuplicateEntry if the key is present.
+func (t *Table) Install(e Entry) error {
+	if _, ok := t.entries[e.Key]; ok {
+		return fmt.Errorf("switch %d, flow %d v%d: %w",
+			int(t.node), int64(e.Flow), uint64(e.Version), ErrDuplicateEntry)
+	}
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		return fmt.Errorf("switch %d (%d entries): %w", int(t.node), len(t.entries), ErrTableFull)
+	}
+	t.entries[e.Key] = e
+	return nil
+}
+
+// Remove deletes an entry by key.
+func (t *Table) Remove(k Key) error {
+	if _, ok := t.entries[k]; !ok {
+		return fmt.Errorf("switch %d, flow %d v%d: %w",
+			int(t.node), int64(k.Flow), uint64(k.Version), ErrNoSuchEntry)
+	}
+	delete(t.entries, k)
+	return nil
+}
+
+// Lookup returns the entry for a key.
+func (t *Table) Lookup(k Key) (Entry, bool) {
+	e, ok := t.entries[k]
+	return e, ok
+}
+
+// Entries returns all entries sorted by (flow, version) for deterministic
+// iteration.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flow != out[j].Flow {
+			return out[i].Flow < out[j].Flow
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// VersionsOf returns the distinct rule generations a flow has in the
+// table, ascending. During a two-phase transition a flow briefly has two.
+func (t *Table) VersionsOf(f flow.ID) []Version {
+	var out []Version
+	for k := range t.entries {
+		if k.Flow == f {
+			out = append(out, k.Version)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netupdate/internal/core"
+	"netupdate/internal/topology"
+)
+
+// DefaultAlpha is the paper's sampling parameter (α=4 in every
+// experiment); load-balance theory says even α=2 captures most of the
+// benefit (power of two random choices [16]).
+const DefaultAlpha = 4
+
+// LMTF — least migration traffic first (Section IV-B) — schedules in
+// arrival order but fine-tunes the head each round: it samples α queued
+// events, probes their current update costs together with the head's, and
+// executes the cheapest of the α+1 candidates. Smaller events therefore
+// overtake a heavy head (no head-of-line blocking) while un-sampled events
+// keep their FIFO positions (bounded unfairness).
+type LMTF struct {
+	// Alpha is the sample size (>= 1).
+	Alpha int
+	rng   *rand.Rand
+}
+
+var _ Scheduler = (*LMTF)(nil)
+
+// NewLMTF returns an LMTF scheduler with the given sample size (0 means
+// DefaultAlpha) and RNG seed.
+func NewLMTF(alpha int, seed int64) *LMTF {
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	return &LMTF{Alpha: alpha, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (s *LMTF) Name() string { return fmt.Sprintf("lmtf(a=%d)", s.Alpha) }
+
+// Pick implements Scheduler.
+func (s *LMTF) Pick(q *Queue, planner *core.Planner) (Decision, error) {
+	cands, d, err := s.selectCandidates(q, planner)
+	if err != nil {
+		return Decision{}, err
+	}
+	d.Head = cands[0].ev
+	return d, nil
+}
+
+// candidate pairs an event with its probed cost and queue index.
+type candidate struct {
+	ev         *core.Event
+	index      int
+	cost       topology.Bandwidth
+	admittable int
+}
+
+// selectCandidates probes the head plus α sampled events and returns them
+// sorted so that the cheapest (ties: earliest arrival) is first and the
+// rest follow in arrival order. Shared by LMTF and P-LMTF.
+func (s *LMTF) selectCandidates(q *Queue, planner *core.Planner) ([]candidate, Decision, error) {
+	if q.Len() == 0 {
+		return nil, Decision{}, ErrEmptyQueue
+	}
+	d := Decision{}
+	indices := sampleIndices(s.rng, q.Len(), s.Alpha)
+	cands := make([]candidate, 0, len(indices))
+	for _, i := range indices {
+		ev := q.At(i)
+		est, err := probeCost(planner, ev)
+		if err != nil {
+			return nil, Decision{}, err
+		}
+		d.Evals += est.Evals
+		cands = append(cands, candidate{ev: ev, index: i, cost: est.Cost, admittable: est.Admittable})
+	}
+	// Move the winner to the front; keep everyone else in arrival order.
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].cost < cands[best].cost {
+			best = i
+		}
+	}
+	if best != 0 {
+		winner := cands[best]
+		cands = append(cands[:best], cands[best+1:]...)
+		cands = append([]candidate{winner}, cands...)
+	}
+	return cands, d, nil
+}
+
+// sampleIndices returns {0} ∪ α distinct random indices from [1, n), in
+// increasing order after the leading 0. With n-1 <= α it returns all
+// indices (the paper: LMTF "does not persist in sampling α events when the
+// queue contains less than α+1").
+func sampleIndices(rng *rand.Rand, n, alpha int) []int {
+	out := []int{0}
+	rest := n - 1
+	if rest <= 0 {
+		return out
+	}
+	if rest <= alpha {
+		for i := 1; i < n; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	// Floyd's algorithm: α distinct values from [1, n).
+	chosen := make(map[int]bool, alpha)
+	for j := rest - alpha; j < rest; j++ {
+		// candidate in [1, j+1]
+		v := 1 + rng.Intn(j+1)
+		if chosen[v] {
+			v = j + 1
+		}
+		chosen[v] = true
+	}
+	picks := make([]int, 0, alpha)
+	for v := range chosen {
+		picks = append(picks, v)
+	}
+	// Sort the small pick set (insertion sort keeps this allocation-free).
+	for i := 1; i < len(picks); i++ {
+		for j := i; j > 0 && picks[j] < picks[j-1]; j-- {
+			picks[j], picks[j-1] = picks[j-1], picks[j]
+		}
+	}
+	return append(out, picks...)
+}

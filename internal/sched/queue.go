@@ -1,0 +1,57 @@
+// Package sched implements the inter-event scheduling policies of
+// Section IV: FIFO, the full cost reorder ("intrinsic method"), LMTF
+// (least migration traffic first) and P-LMTF (parallel LMTF with
+// opportunistic co-scheduling), plus the update queue they operate on.
+package sched
+
+import (
+	"netupdate/internal/core"
+)
+
+// Queue is the update queue: events in arrival order. The scheduler reads
+// it; the simulator pushes arrivals and removes events chosen for
+// execution.
+type Queue struct {
+	events []*core.Event
+}
+
+// NewQueue returns an empty update queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push appends an event (events arrive in nondecreasing time order).
+func (q *Queue) Push(ev *core.Event) {
+	q.events = append(q.events, ev)
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// At returns the i-th event in arrival order (0 = head).
+func (q *Queue) At(i int) *core.Event { return q.events[i] }
+
+// Head returns the head event, or nil if the queue is empty.
+func (q *Queue) Head() *core.Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	return q.events[0]
+}
+
+// Remove deletes the given event, preserving the order of the rest.
+// It reports whether the event was present.
+func (q *Queue) Remove(ev *core.Event) bool {
+	for i, e := range q.events {
+		if e == ev {
+			q.events = append(q.events[:i], q.events[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Events returns a copy of the queue in arrival order.
+func (q *Queue) Events() []*core.Event {
+	out := make([]*core.Event, len(q.events))
+	copy(out, q.events)
+	return out
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"testing"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+)
+
+func mkEvents(n int) []*core.Event {
+	out := make([]*core.Event, n)
+	for i := range out {
+		out[i] = core.NewEvent(flow.EventID(i+1), "test", 0, nil)
+	}
+	return out
+}
+
+func TestQueueOrder(t *testing.T) {
+	q := NewQueue()
+	if q.Head() != nil {
+		t.Error("empty queue Head != nil")
+	}
+	evs := mkEvents(3)
+	for _, ev := range evs {
+		q.Push(ev)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if q.Head() != evs[0] {
+		t.Error("Head != first pushed")
+	}
+	for i, ev := range evs {
+		if q.At(i) != ev {
+			t.Errorf("At(%d) != pushed order", i)
+		}
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue()
+	evs := mkEvents(4)
+	for _, ev := range evs {
+		q.Push(ev)
+	}
+	if !q.Remove(evs[1]) {
+		t.Fatal("Remove returned false for present event")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d after remove, want 3", q.Len())
+	}
+	want := []*core.Event{evs[0], evs[2], evs[3]}
+	for i, ev := range want {
+		if q.At(i) != ev {
+			t.Errorf("At(%d) wrong after remove", i)
+		}
+	}
+	if q.Remove(evs[1]) {
+		t.Error("Remove returned true for absent event")
+	}
+}
+
+func TestQueueEventsIsCopy(t *testing.T) {
+	q := NewQueue()
+	evs := mkEvents(2)
+	for _, ev := range evs {
+		q.Push(ev)
+	}
+	cp := q.Events()
+	cp[0] = nil
+	if q.At(0) != evs[0] {
+		t.Error("mutating Events() copy changed the queue")
+	}
+}

@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"netupdate/internal/core"
+)
+
+// SmallestFirst executes the queued event with the fewest flows — a
+// probe-free shortest-job-first heuristic. It costs no planning work at
+// all, but orders by a static proxy (flow count) rather than the live
+// update cost LMTF probes; the ablation-reorder experiment quantifies
+// what the probing buys. Ties keep arrival order.
+type SmallestFirst struct{}
+
+var _ Scheduler = SmallestFirst{}
+
+// Name implements Scheduler.
+func (SmallestFirst) Name() string { return "smallest-first" }
+
+// Pick implements Scheduler.
+func (SmallestFirst) Pick(q *Queue, _ *core.Planner) (Decision, error) {
+	if q.Len() == 0 {
+		return Decision{}, ErrEmptyQueue
+	}
+	best := 0
+	for i := 1; i < q.Len(); i++ {
+		if q.At(i).NumFlows() < q.At(best).NumFlows() {
+			best = i
+		}
+	}
+	return Decision{Head: q.At(best)}, nil
+}

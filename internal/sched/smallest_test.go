@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/topology"
+)
+
+// sizedEvent builds an event with n placeholder flows (never executed, so
+// host IDs need not exist).
+func sizedEvent(id flow.EventID, n int) *core.Event {
+	specs := make([]flow.Spec, n)
+	for i := range specs {
+		specs[i] = flow.Spec{Src: 0, Dst: 1, Demand: topology.Mbps}
+	}
+	return core.NewEvent(id, "test", 0, specs)
+}
+
+func TestSmallestFirstPicksFewestFlows(t *testing.T) {
+	q := NewQueue()
+	q.Push(sizedEvent(1, 10))
+	small := sizedEvent(2, 2)
+	q.Push(small)
+	q.Push(sizedEvent(3, 5))
+
+	d, err := (SmallestFirst{}).Pick(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Head != small {
+		t.Errorf("head = %v, want the 2-flow event", d.Head)
+	}
+	if d.Evals != 0 {
+		t.Errorf("Evals = %d, want 0 (probe-free)", d.Evals)
+	}
+}
+
+func TestSmallestFirstTieKeepsArrival(t *testing.T) {
+	q := NewQueue()
+	first := sizedEvent(1, 3)
+	q.Push(first)
+	q.Push(sizedEvent(2, 3))
+	d, err := (SmallestFirst{}).Pick(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Head != first {
+		t.Error("tie not broken toward earliest arrival")
+	}
+}
+
+func TestSmallestFirstEmptyQueue(t *testing.T) {
+	if _, err := (SmallestFirst{}).Pick(NewQueue(), nil); !errors.Is(err, ErrEmptyQueue) {
+		t.Errorf("error = %v, want ErrEmptyQueue", err)
+	}
+}
+
+func TestSmallestFirstName(t *testing.T) {
+	if got := (SmallestFirst{}).Name(); got != "smallest-first" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/netstate"
+	"netupdate/internal/trace"
+)
+
+// ChurnConfig turns over background traffic while a simulation runs: every
+// Interval of virtual time, a Fraction of the background flows depart and
+// new flows arrive to restore the network's utilization. This is the
+// "network traffic in flux" of Section IV-A — the reason an event's update
+// cost changes while it waits in the queue, and the reason LMTF re-probes
+// costs each round instead of sorting the queue once.
+type ChurnConfig struct {
+	// Interval is the virtual time between churn ticks (default 1s).
+	Interval time.Duration
+	// Fraction of background flows replaced per tick, in (0,1]
+	// (default 0.05).
+	Fraction float64
+	// Seed drives victim selection and replacement traffic.
+	Seed int64
+	// MaxPlaceAttempts bounds the placement retries per tick (default 50).
+	MaxPlaceAttempts int
+}
+
+// withDefaults fills zero fields.
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+	if c.Fraction == 0 {
+		c.Fraction = 0.05
+	}
+	if c.MaxPlaceAttempts == 0 {
+		c.MaxPlaceAttempts = 50
+	}
+	return c
+}
+
+// churner replaces background flows on a virtual-time schedule.
+type churner struct {
+	cfg      ChurnConfig
+	net      *netstate.Network
+	gen      *trace.Generator
+	rng      *rand.Rand
+	nextTick time.Duration
+	// baseline is the utilization to restore after departures.
+	baseline float64
+}
+
+// newChurner captures the network's current utilization as the level to
+// maintain.
+func newChurner(net *netstate.Network, gen *trace.Generator, cfg ChurnConfig) *churner {
+	cfg = cfg.withDefaults()
+	return &churner{
+		cfg:      cfg,
+		net:      net,
+		gen:      gen,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nextTick: cfg.Interval,
+		baseline: net.Utilization(),
+	}
+}
+
+// advance applies every churn tick due by time t.
+func (c *churner) advance(t time.Duration) error {
+	for c.nextTick <= t {
+		if err := c.tick(); err != nil {
+			return err
+		}
+		c.nextTick += c.cfg.Interval
+	}
+	return nil
+}
+
+// tick replaces a fraction of the background flows.
+func (c *churner) tick() error {
+	var background []*flow.Flow
+	for _, f := range c.net.Registry().Placed() {
+		if f.Event == flow.NoEvent {
+			background = append(background, f)
+		}
+	}
+	depart := int(float64(len(background)) * c.cfg.Fraction)
+	if depart == 0 && len(background) > 0 {
+		depart = 1
+	}
+	// Fisher-Yates prefix over the ID-sorted slice keeps selection
+	// deterministic under the seed.
+	for i := 0; i < depart; i++ {
+		j := i + c.rng.Intn(len(background)-i)
+		background[i], background[j] = background[j], background[i]
+		if err := c.net.Remove(background[i]); err != nil {
+			return fmt.Errorf("sim: churn departure: %w", err)
+		}
+	}
+	// Refill toward the baseline utilization.
+	attempts := 0
+	for c.net.Utilization() < c.baseline && attempts < c.cfg.MaxPlaceAttempts {
+		attempts++
+		f, err := c.net.AddFlow(c.gen.Spec())
+		if err != nil {
+			return fmt.Errorf("sim: churn arrival: %w", err)
+		}
+		if _, err := c.net.PlaceBest(f); err != nil {
+			if rmErr := c.net.Remove(f); rmErr != nil {
+				return fmt.Errorf("sim: churn cleanup: %w", rmErr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/sched"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+// loadedEnv builds a k=4 fat-tree at the given utilization.
+func loadedEnv(t *testing.T, util float64, seed int64) (*core.Planner, *trace.Generator, []*flow.Flow) {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(seed+7))
+	gen, err := trace.NewGenerator(seed, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := trace.FillBackground(net, gen, util, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewPlanner(migration.NewPlanner(net, 0), 0), gen, bg
+}
+
+func TestChurnReplacesBackgroundFlows(t *testing.T) {
+	planner, gen, bg := loadedEnv(t, 0.4, 31)
+	net := planner.Network()
+	before := make(map[flow.ID]bool, len(bg))
+	for _, f := range bg {
+		before[f.ID] = true
+	}
+
+	events := gen.Events(5, 3, 8)
+	eng := NewEngine(planner, sched.FIFO{}, Config{InstallTime: 200 * time.Millisecond})
+	eng.EnableChurn(gen, ChurnConfig{Interval: 100 * time.Millisecond, Fraction: 0.1, Seed: 1})
+	col, err := eng.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 5 {
+		t.Fatalf("recorded %d events, want 5", col.Len())
+	}
+
+	// Some of the original background must have churned away.
+	survivors := 0
+	for _, f := range net.Registry().Placed() {
+		if before[f.ID] {
+			survivors++
+		}
+	}
+	if survivors == len(before) {
+		t.Error("churn never replaced any background flow")
+	}
+	// Utilization stays near the baseline.
+	if got := net.Utilization(); math.Abs(got-0.4) > 0.1 {
+		t.Errorf("utilization drifted to %.3f, want near 0.40", got)
+	}
+	// The fabric is still congestion-free.
+	g := net.Graph()
+	for i := 0; i < g.NumLinks(); i++ {
+		if l := g.Link(topology.LinkID(i)); l.Residual() < 0 {
+			t.Errorf("link %v over capacity", l)
+		}
+	}
+}
+
+func TestChurnNeverTouchesEventFlows(t *testing.T) {
+	planner, gen, _ := loadedEnv(t, 0.4, 33)
+	cfg := Config{InstallTime: 100 * time.Millisecond}
+	cfg.KeepFlows = true // keep event flows around to check them afterwards
+	eng := NewEngine(planner, sched.FIFO{}, cfg)
+	eng.EnableChurn(gen, ChurnConfig{Interval: 50 * time.Millisecond, Fraction: 0.2, Seed: 2})
+	events := gen.Events(4, 4, 8)
+	if _, err := eng.Run(events); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		for _, f := range ev.Flows {
+			if !f.Placed() {
+				t.Errorf("event flow %v was displaced by churn", f)
+			}
+		}
+	}
+}
+
+func TestChurnConfigDefaults(t *testing.T) {
+	cfg := ChurnConfig{}.withDefaults()
+	if cfg.Interval != time.Second || cfg.Fraction != 0.05 || cfg.MaxPlaceAttempts != 50 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestEventsPoissonArrivals(t *testing.T) {
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(9, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := gen.EventsPoisson(50, 2, 5, time.Second)
+	if events[0].Arrival != 0 {
+		t.Errorf("first arrival = %v, want 0", events[0].Arrival)
+	}
+	var last time.Duration
+	var total time.Duration
+	for _, ev := range events {
+		if ev.Arrival < last {
+			t.Fatal("arrivals not nondecreasing")
+		}
+		last = ev.Arrival
+	}
+	total = last
+	// Mean gap should be near 1s: total ≈ 49s within loose bounds.
+	if total < 20*time.Second || total > 120*time.Second {
+		t.Errorf("total span = %v, want roughly 49s", total)
+	}
+}
+
+// TestOnlineArrivalsDrainCorrectly: events arriving over time are all
+// served and queuing delays stay small when the system is underloaded.
+func TestOnlineArrivalsDrainCorrectly(t *testing.T) {
+	planner, gen, _ := loadedEnv(t, 0.3, 35)
+	events := gen.EventsPoisson(10, 2, 4, 2*time.Second)
+	eng := NewEngine(planner, sched.NewLMTF(2, 1), Config{InstallTime: 10 * time.Millisecond})
+	col, err := eng.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 10 {
+		t.Fatalf("recorded %d events, want 10", col.Len())
+	}
+	for _, ev := range events {
+		if !ev.Done {
+			t.Errorf("%v not completed", ev)
+		}
+		if ev.Start < ev.Arrival {
+			t.Errorf("%v started before it arrived", ev)
+		}
+	}
+	// Underloaded: most events should start almost immediately.
+	if col.AvgQueuingDelay() > time.Second {
+		t.Errorf("avg queuing delay = %v, want < 1s when underloaded", col.AvgQueuingDelay())
+	}
+}

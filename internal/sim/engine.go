@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/metrics"
+	"netupdate/internal/migration"
+	"netupdate/internal/sched"
+	"netupdate/internal/trace"
+)
+
+// Engine simulates event-level scheduling: each round it asks the
+// scheduler for a decision, executes the head event (plus any feasible
+// opportunistic events in parallel lanes, for P-LMTF) and advances the
+// virtual clock to the round's completion. Rounds are barriers: the next
+// decision happens only after every event of the round completes, matching
+// the paper's "the network executes one round of updates at a time".
+type Engine struct {
+	cfg       Config
+	planner   *core.Planner
+	scheduler sched.Scheduler
+
+	clock     time.Duration
+	queue     *sched.Queue
+	pending   []*core.Event
+	releases  releaseHeap
+	collector *metrics.Collector
+	churn     *churner
+}
+
+// NewEngine builds an engine. The planner owns the (pre-filled) network;
+// cfg zero fields take documented defaults.
+func NewEngine(planner *core.Planner, scheduler sched.Scheduler, cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg.withDefaults(),
+		planner:   planner,
+		scheduler: scheduler,
+		queue:     sched.NewQueue(),
+		collector: metrics.NewCollector(),
+	}
+}
+
+// Run simulates the given events to completion and returns the collected
+// metrics. Events may arrive at any time; the common experimental setup
+// enqueues all of them at time zero.
+func (e *Engine) Run(events []*core.Event) (*metrics.Collector, error) {
+	e.pending = make([]*core.Event, len(events))
+	copy(e.pending, events)
+	sort.SliceStable(e.pending, func(i, j int) bool {
+		return e.pending[i].Arrival < e.pending[j].Arrival
+	})
+
+	for {
+		e.admitArrivals()
+		if e.queue.Len() == 0 {
+			if len(e.pending) == 0 {
+				break
+			}
+			// Idle until the next arrival.
+			e.advanceTo(e.pending[0].Arrival)
+			continue
+		}
+		if _, err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	e.drainReleases()
+	e.collector.Makespan = e.clock
+	return e.collector, nil
+}
+
+// Enqueue adds an event to the live update queue. It is the incremental
+// alternative to Run for callers (like the ctl server) that receive events
+// over time; pair it with Step. The event's Arrival should already be set
+// (typically to Clock()).
+func (e *Engine) Enqueue(ev *core.Event) {
+	e.queue.Push(ev)
+}
+
+// Step runs one scheduling round if the queue is non-empty and reports
+// whether it did any work.
+func (e *Engine) Step() (bool, error) {
+	if e.queue.Len() == 0 {
+		return false, nil
+	}
+	if err := e.runRound(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// installTime returns how long one admission's rule installation takes.
+func (e *Engine) installTime(adm *migration.Result) time.Duration {
+	return installDuration(e.cfg, e.planner.Network().Graph(), adm)
+}
+
+// Clock returns the current virtual time.
+func (e *Engine) Clock() time.Duration { return e.clock }
+
+// QueueLen returns the number of events waiting in the update queue.
+func (e *Engine) QueueLen() int { return e.queue.Len() }
+
+// Collector exposes the live metrics (shared state; read-only use).
+func (e *Engine) Collector() *metrics.Collector { return e.collector }
+
+// admitArrivals moves pending events whose arrival time has come into the
+// update queue.
+func (e *Engine) admitArrivals() {
+	for len(e.pending) > 0 && e.pending[0].Arrival <= e.clock {
+		e.queue.Push(e.pending[0])
+		e.pending = e.pending[1:]
+	}
+}
+
+// EnableChurn turns over background traffic during the run: every
+// cfg.Interval of virtual time, cfg.Fraction of the background flows are
+// replaced with fresh ones drawn from gen, holding utilization near the
+// level it has when the run starts. Call before Run.
+func (e *Engine) EnableChurn(gen *trace.Generator, cfg ChurnConfig) {
+	e.churn = newChurner(e.planner.Network(), gen, cfg)
+}
+
+// advanceTo moves the clock forward, applying any flow releases and churn
+// ticks that fall due on the way.
+func (e *Engine) advanceTo(t time.Duration) {
+	e.processReleases(t)
+	if e.churn != nil {
+		if err := e.churn.advance(t); err != nil {
+			panic(fmt.Sprintf("sim: churn: %v", err))
+		}
+	}
+	if t > e.clock {
+		e.clock = t
+	}
+}
+
+// processReleases removes event flows whose transfers finished by t.
+func (e *Engine) processReleases(t time.Duration) {
+	for len(e.releases) > 0 && e.releases[0].at <= t {
+		rel := heap.Pop(&e.releases).(release)
+		if err := e.planner.Network().Remove(rel.f); err != nil {
+			panic(fmt.Sprintf("sim: releasing finished flow: %v", err))
+		}
+	}
+}
+
+// drainReleases applies all outstanding releases (end of run).
+func (e *Engine) drainReleases() {
+	e.processReleases(1<<62 - 1)
+}
+
+// runRound performs one scheduling round.
+func (e *Engine) runRound() error {
+	decision, err := e.scheduler.Pick(e.queue, e.planner)
+	if err != nil {
+		return fmt.Errorf("sim: scheduling: %w", err)
+	}
+	decisionTime := e.cfg.planTime(decision.Evals)
+	e.collector.DecisionEvals += decision.Evals
+	e.collector.PlanTime += decisionTime
+
+	roundStart := e.clock
+	if e.cfg.SerialPlanning {
+		roundStart += decisionTime
+	}
+	roundEnd := roundStart
+
+	end, err := e.runLane(decision.Head, roundStart)
+	if err != nil {
+		return err
+	}
+	if end > roundEnd {
+		roundEnd = end
+	}
+
+	// Opportunistic co-scheduling (P-LMTF): in arrival order, commit any
+	// candidate whose admission is not degraded by what this round has
+	// already committed — running together must not interfere (flows that
+	// fail either way, e.g. on saturated access links, do not block it).
+	for _, cand := range decision.Opportunistic {
+		est, err := e.planner.Probe(cand.Event)
+		if err != nil {
+			return fmt.Errorf("sim: opportunistic probe of %v: %w", cand.Event, err)
+		}
+		e.collector.DecisionEvals += est.Evals
+		e.collector.PlanTime += e.cfg.planTime(est.Evals)
+		if est.Admittable < cand.AloneAdmittable {
+			continue
+		}
+		end, err := e.runLane(cand.Event, roundStart)
+		if err != nil {
+			return err
+		}
+		if end > roundEnd {
+			roundEnd = end
+		}
+	}
+
+	e.advanceTo(roundEnd)
+	return nil
+}
+
+// runLane executes one event starting at laneStart and returns the lane's
+// completion time. The event is removed from the queue, executed against
+// the network, its flows' releases scheduled, and its record collected.
+func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration, error) {
+	if !e.queue.Remove(ev) {
+		return 0, fmt.Errorf("sim: %v scheduled but not queued", ev)
+	}
+	res, err := e.planner.Execute(ev)
+	if err != nil {
+		return 0, fmt.Errorf("sim: executing %v: %w", ev, err)
+	}
+	lanePlan := e.cfg.planTime(res.Evals)
+	e.collector.PlanTime += lanePlan
+	if !e.cfg.SerialPlanning {
+		lanePlan = 0 // pipelined with the previous round's execution
+	}
+	migTime := e.cfg.migrationTime(res.Cost)
+
+	completion := laneStart + lanePlan + migTime
+	cursor := completion
+	for _, adm := range res.Admitted {
+		cursor += e.installTime(adm)
+		installed := cursor
+		if installed > completion {
+			completion = installed
+		}
+		transferred := installed + adm.Flow.TransferTime()
+		if e.cfg.Mode == InstallPlusTransfer && transferred > completion {
+			completion = transferred
+		}
+		if !e.cfg.KeepFlows {
+			heap.Push(&e.releases, release{at: transferred, f: adm.Flow})
+		}
+	}
+
+	ev.Start = laneStart
+	ev.Started = true
+	ev.Completion = completion
+	ev.Done = true
+	e.collector.Add(metrics.EventRecord{
+		Event:      ev.ID,
+		Kind:       ev.Kind,
+		Flows:      len(res.Admitted),
+		Failed:     res.Failed,
+		Arrival:    ev.Arrival,
+		Start:      ev.Start,
+		Completion: ev.Completion,
+		Cost:       res.Cost,
+		PlanEvals:  res.Evals,
+	})
+	return completion, nil
+}

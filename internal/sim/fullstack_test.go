@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/rules"
+	"netupdate/internal/sched"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+// TestFullStack drives every subsystem at once: a loaded fat-tree with
+// two-phase rule tables attached, churning background traffic, Poisson
+// event arrivals, split-capable migration, rule-op install accounting and
+// P-LMTF scheduling — then checks the global invariants survived.
+func TestFullStack(t *testing.T) {
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	net := netstate.New(g, routing.NewFatTreeProvider(ft), routing.NewRandomFit(41))
+	dp := rules.NewManager(g, 0)
+	if err := net.AttachDataPlane(dp); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(17, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	background, err := trace.FillBackground(net, gen, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mig := migration.NewPlanner(net, migration.StrategyDensity)
+	mig.SetAllowSplit(true)
+	planner := core.NewPlanner(mig, core.FailSkip)
+
+	events := gen.EventsPoisson(12, 3, 12, 300*time.Millisecond)
+	eng := NewEngine(planner, sched.NewPLMTF(2, 31), Config{
+		PerRuleOpTime: 2 * time.Millisecond,
+	})
+	eng.EnableChurn(gen, ChurnConfig{Interval: 200 * time.Millisecond, Fraction: 0.05, Seed: 9})
+
+	col, err := eng.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != len(events) {
+		t.Fatalf("recorded %d events, want %d", col.Len(), len(events))
+	}
+	for _, ev := range events {
+		if !ev.Done {
+			t.Errorf("%v not done", ev)
+		}
+	}
+
+	// Invariant 1: congestion freedom everywhere.
+	for i := 0; i < g.NumLinks(); i++ {
+		if l := g.Link(topology.LinkID(i)); l.Residual() < 0 {
+			t.Errorf("link %v over capacity", l)
+		}
+	}
+	// Invariant 2: the ledger equals the placed-flow sums.
+	sums := make(map[topology.LinkID]topology.Bandwidth)
+	for _, f := range net.Registry().Placed() {
+		for _, l := range f.Path().Links() {
+			sums[l] += f.Demand
+		}
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		id := topology.LinkID(i)
+		if got := g.Link(id).Reserved(); got != sums[id] {
+			t.Fatalf("link %d ledger %v != placed sum %v", i, got, sums[id])
+		}
+	}
+	// Invariant 3: the data plane holds exactly the placed flows' rules.
+	wantEntries := 0
+	for _, f := range net.Registry().Placed() {
+		if !dp.PathInstalled(f.ID, dp.CurrentVersion(f.ID), f.Path()) {
+			t.Errorf("flow %v rules missing or stale", f)
+		}
+		for _, l := range f.Path().Links() {
+			if g.Node(g.Link(l).From).Kind.IsSwitch() {
+				wantEntries++
+			}
+		}
+	}
+	if got := dp.TotalEntries(); got != wantEntries {
+		t.Errorf("rule entries = %d, want %d", got, wantEntries)
+	}
+	// Invariant 4: all event flows released; only background-class flows
+	// remain (churn replaces background, so count only the class).
+	for _, f := range net.Registry().Placed() {
+		if f.Event != flow.NoEvent {
+			t.Errorf("event flow %v still placed after run", f)
+		}
+	}
+	if len(net.Registry().Placed()) == 0 {
+		t.Error("all background gone; churn should maintain it")
+	}
+	_ = background
+}

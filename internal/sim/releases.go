@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"netupdate/internal/flow"
+)
+
+// release is a scheduled removal of a finished event flow.
+type release struct {
+	at time.Duration
+	f  *flow.Flow
+}
+
+// releaseHeap is a min-heap of pending flow releases ordered by time,
+// with flow ID as a deterministic tie-break.
+type releaseHeap []release
+
+var _ heap.Interface = (*releaseHeap)(nil)
+
+func (h releaseHeap) Len() int { return len(h) }
+
+func (h releaseHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].f.ID < h[j].f.ID
+}
+
+func (h releaseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *releaseHeap) Push(x any) {
+	rel, ok := x.(release)
+	if !ok {
+		panic("sim: releaseHeap.Push: not a release")
+	}
+	*h = append(*h, rel)
+}
+
+// Pop implements heap.Interface.
+func (h *releaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/rules"
+	"netupdate/internal/sched"
+	"netupdate/internal/topology"
+)
+
+// ruleOpConfig charges 1 second per rule operation and nothing else.
+func ruleOpConfig() Config {
+	return Config{
+		InstallTime:   time.Hour, // must be ignored when PerRuleOpTime is set
+		PerRuleOpTime: time.Second,
+		MigrationRate: 100 * topology.Mbps,
+		PlanEvalTime:  -1,
+	}
+}
+
+func TestPerRuleOpInstallAccounting(t *testing.T) {
+	planner, ft := newPlanner(t)
+	hosts := ft.Hosts()
+
+	// Event 1: one same-edge flow (host->edge->host: 2 links, 1 switch
+	// hop, +1 flip = 2 ops). Event 2: one cross-pod flow (6 links, 5
+	// switch hops, +1 flip = 6 ops).
+	sameEdge := core.NewEvent(1, "short", 0, []flow.Spec{
+		{Src: ft.Host(0, 0, 0), Dst: ft.Host(0, 0, 1), Demand: topology.Mbps},
+	})
+	crossPod := core.NewEvent(2, "long", 0, []flow.Spec{
+		{Src: ft.Host(1, 0, 0), Dst: ft.Host(2, 0, 0), Demand: topology.Mbps},
+	})
+	_ = hosts
+
+	eng := NewEngine(planner, sched.FIFO{}, ruleOpConfig())
+	if _, err := eng.Run([]*core.Event{sameEdge, crossPod}); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "same-edge ECT", sameEdge.ECT(), 2*time.Second, time.Millisecond)
+	// Cross-pod event waits for the first (2s) then takes 6s of ops.
+	within(t, "cross-pod ECT", crossPod.ECT(), 8*time.Second, time.Millisecond)
+}
+
+func TestPerRuleOpChargesMigrations(t *testing.T) {
+	// Deterministic bottleneck gadget: admitting the event flow migrates
+	// one victim. Rule ops: victim move = from(3 hops... path c->u->v->d:
+	// links cu,uv,vd => switch-sourced: uv(from u), vd(from v) = 2 hops;
+	// wait, cu's From is host c. So from-path 2 hops; detour c->w->d:
+	// wd only = 1 hop; move ops = 2+1+1 = 4. New flow a->u->v->b: uv,vb
+	// = 2 hops + flip = 3. Total = 7 ops.
+	g := topology.NewGraph()
+	a := g.AddNode(topology.KindHost, "a")
+	b := g.AddNode(topology.KindHost, "b")
+	c := g.AddNode(topology.KindHost, "c")
+	d := g.AddNode(topology.KindHost, "d")
+	u := g.AddNode(topology.KindEdgeSwitch, "u")
+	v := g.AddNode(topology.KindEdgeSwitch, "v")
+	w := g.AddNode(topology.KindEdgeSwitch, "w")
+	link := func(x, y topology.NodeID) topology.LinkID {
+		id, err := g.AddLink(x, y, topology.Gbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	link(a, u)
+	uv := link(u, v)
+	link(v, b)
+	cu := link(c, u)
+	vd := link(v, d)
+	link(c, w)
+	link(w, d)
+
+	net := netstate.New(g, routing.NewBFSProvider(g, 0), routing.WidestFit{})
+	victim, err := net.AddFlow(flow.Spec{Src: c, Dst: d, Demand: 800 * topology.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vicPath, err := routing.NewPath(g, []topology.LinkID{cu, uv, vd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Place(victim, vicPath); err != nil {
+		t.Fatal(err)
+	}
+
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), 0)
+	ev := core.NewEvent(1, "migrating", 0, []flow.Spec{
+		{Src: a, Dst: b, Demand: 500 * topology.Mbps},
+	})
+	eng := NewEngine(planner, sched.FIFO{}, ruleOpConfig())
+	if _, err := eng.Run([]*core.Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	// 8s of migration (800 Mbps at 100 Mbps/s) + 7s of rule ops.
+	within(t, "ECT", ev.ECT(), 15*time.Second, time.Millisecond)
+}
+
+// TestEngineWithDataPlane runs a full simulation over a network with rule
+// tables attached and verifies the tables drain with the flows.
+func TestEngineWithDataPlane(t *testing.T) {
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.WidestFit{})
+	dp := rules.NewManager(ft.Graph(), 0)
+	if err := net.AttachDataPlane(dp); err != nil {
+		t.Fatal(err)
+	}
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), 0)
+	events := fig2Events(ft)
+	eng := NewEngine(planner, sched.NewPLMTF(2, 1), cleanConfig())
+	if _, err := eng.Run(events); err != nil {
+		t.Fatal(err)
+	}
+	// All event flows released => all rules torn down.
+	if got := dp.TotalEntries(); got != 0 {
+		t.Errorf("TotalEntries after run = %d, want 0", got)
+	}
+	if dp.Ops() == 0 {
+		t.Error("no rule operations recorded")
+	}
+}

@@ -1,0 +1,35 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures arbitrary input never panics the decoder and that
+// anything it accepts either restores cleanly or fails with an error —
+// never by corrupting state.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"version":1,"nodes":[],"links":[],"flows":[]}`)
+	f.Add(`{"version":1,"nodes":[{"kind":1,"name":"a"},{"kind":1,"name":"b"}],` +
+		`"links":[{"from":0,"to":1,"capacity_bps":1000000000}],` +
+		`"flows":[{"src":0,"dst":1,"demand_bps":1000000,"path_links":[0]}]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"links":[{"from":-5,"to":99,"capacity_bps":-1}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		snap, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything Read accepts must round-trip through Write.
+		var buf bytes.Buffer
+		if err := snap.Write(&buf); err != nil {
+			t.Fatalf("Write after Read: %v", err)
+		}
+		// Restore may reject it, but must not panic.
+		if net, err := Restore(snap); err == nil {
+			_ = net.Utilization()
+		}
+	})
+}

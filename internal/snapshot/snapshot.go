@@ -1,0 +1,164 @@
+// Package snapshot serializes network state — topology, placed flows and
+// their paths — to JSON and restores it. Snapshots make experiment states
+// reproducible artifacts: a loaded fabric can be captured once and
+// restored for debugging, and the controller daemon can checkpoint its
+// world across restarts.
+//
+// Bandwidth reservations are not stored explicitly: they are derivable
+// (and are re-derived, which re-validates the congestion-free invariant)
+// by replaying the placements.
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+// FormatVersion identifies the snapshot schema.
+const FormatVersion = 1
+
+// ErrBadSnapshot is returned when a snapshot fails validation.
+var ErrBadSnapshot = errors.New("snapshot: invalid snapshot")
+
+// Node is one serialized graph node.
+type Node struct {
+	Kind int    `json:"kind"`
+	Name string `json:"name"`
+}
+
+// Link is one serialized directed link.
+type Link struct {
+	From        int   `json:"from"`
+	To          int   `json:"to"`
+	CapacityBps int64 `json:"capacity_bps"`
+}
+
+// Flow is one serialized flow, placed or not.
+type Flow struct {
+	Src       int   `json:"src"`
+	Dst       int   `json:"dst"`
+	DemandBps int64 `json:"demand_bps"`
+	SizeBytes int64 `json:"size_bytes"`
+	Event     int64 `json:"event,omitempty"`
+	// PathLinks is the placed route as link indices (nil = unplaced).
+	PathLinks []int `json:"path_links,omitempty"`
+}
+
+// Snapshot is the serialized world.
+type Snapshot struct {
+	Version int    `json:"version"`
+	Nodes   []Node `json:"nodes"`
+	Links   []Link `json:"links"`
+	Flows   []Flow `json:"flows"`
+}
+
+// Capture serializes the network's graph and flows.
+func Capture(net *netstate.Network) *Snapshot {
+	g := net.Graph()
+	snap := &Snapshot{Version: FormatVersion}
+	for _, n := range g.Nodes() {
+		snap.Nodes = append(snap.Nodes, Node{Kind: int(n.Kind), Name: n.Name})
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(topology.LinkID(i))
+		snap.Links = append(snap.Links, Link{
+			From:        int(l.From),
+			To:          int(l.To),
+			CapacityBps: int64(l.Capacity),
+		})
+	}
+	for _, f := range net.Registry().All() {
+		sf := Flow{
+			Src:       int(f.Src),
+			Dst:       int(f.Dst),
+			DemandBps: int64(f.Demand),
+			SizeBytes: f.Size,
+			Event:     int64(f.Event),
+		}
+		if f.Placed() {
+			for _, l := range f.Path().Links() {
+				sf.PathLinks = append(sf.PathLinks, int(l))
+			}
+		}
+		snap.Flows = append(snap.Flows, sf)
+	}
+	return snap
+}
+
+// Write encodes the snapshot as JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a snapshot from JSON.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if s.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadSnapshot, s.Version, FormatVersion)
+	}
+	return &s, nil
+}
+
+// Restore rebuilds a Network from the snapshot: the graph is
+// reconstructed, every flow re-registered, and every placed flow's
+// reservations replayed (re-validating the congestion-free invariant).
+// The network uses a BFS path provider unless the caller rewires one via
+// the returned graph; selector is the netstate default.
+func Restore(s *Snapshot) (*netstate.Network, error) {
+	g := topology.NewGraph()
+	for _, n := range s.Nodes {
+		g.AddNode(topology.NodeKind(n.Kind), n.Name)
+	}
+	for i, l := range s.Links {
+		if _, err := g.AddLink(topology.NodeID(l.From), topology.NodeID(l.To),
+			topology.Bandwidth(l.CapacityBps)); err != nil {
+			return nil, fmt.Errorf("%w: link %d: %v", ErrBadSnapshot, i, err)
+		}
+	}
+	net := netstate.New(g, routing.NewBFSProvider(g, 0), nil)
+	for i, sf := range s.Flows {
+		f, err := net.AddFlow(flow.Spec{
+			Src:    topology.NodeID(sf.Src),
+			Dst:    topology.NodeID(sf.Dst),
+			Demand: topology.Bandwidth(sf.DemandBps),
+			Size:   sf.SizeBytes,
+			Event:  flow.EventID(sf.Event),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadSnapshot, i, err)
+		}
+		if len(sf.PathLinks) == 0 {
+			continue
+		}
+		links := make([]topology.LinkID, len(sf.PathLinks))
+		for j, l := range sf.PathLinks {
+			if l < 0 || l >= g.NumLinks() {
+				return nil, fmt.Errorf("%w: flow %d references link %d", ErrBadSnapshot, i, l)
+			}
+			links[j] = topology.LinkID(l)
+		}
+		path, err := routing.NewPath(g, links)
+		if err != nil {
+			return nil, fmt.Errorf("%w: flow %d path: %v", ErrBadSnapshot, i, err)
+		}
+		if err := net.Place(f, path); err != nil {
+			return nil, fmt.Errorf("%w: flow %d placement: %v", ErrBadSnapshot, i, err)
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,62 @@
+// Package topology models the physical network substrate used throughout the
+// library: a directed multigraph of switches, hosts and capacitated links,
+// plus the parametric Fat-Tree builder the paper evaluates on (an 8-pod
+// Fat-Tree with 1 Gbps links, Section V-A).
+//
+// The package owns bandwidth bookkeeping: every link tracks its capacity and
+// the bandwidth currently reserved by placed flows. All higher layers
+// (admission, migration planning, scheduling) reason purely in terms of the
+// residual bandwidth exposed here.
+package topology
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Bandwidth is an amount of network bandwidth in bits per second.
+//
+// Bandwidth is an integer type so that reserve/release bookkeeping is exact:
+// a sequence of reservations followed by the matching releases always
+// restores the original residual value, which the congestion-freedom
+// invariants of the paper (Section III-A) depend on.
+type Bandwidth int64
+
+// Convenient bandwidth units.
+const (
+	Bps  Bandwidth = 1
+	Kbps           = 1000 * Bps
+	Mbps           = 1000 * Kbps
+	Gbps           = 1000 * Mbps
+)
+
+// String formats the bandwidth using the largest unit that divides it
+// legibly, e.g. "1Gbps", "250Mbps", "1500bps".
+func (b Bandwidth) String() string {
+	neg := ""
+	v := b
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	switch {
+	case v >= Gbps && v%(Gbps/10) == 0:
+		return neg + formatScaled(int64(v), int64(Gbps)) + "Gbps"
+	case v >= Mbps && v%(Mbps/10) == 0:
+		return neg + formatScaled(int64(v), int64(Mbps)) + "Mbps"
+	case v >= Kbps && v%(Kbps/10) == 0:
+		return neg + formatScaled(int64(v), int64(Kbps)) + "Kbps"
+	default:
+		return neg + strconv.FormatInt(int64(v), 10) + "bps"
+	}
+}
+
+// formatScaled renders v/unit with at most one decimal digit.
+func formatScaled(v, unit int64) string {
+	whole := v / unit
+	frac := (v % unit) * 10 / unit
+	if frac == 0 {
+		return strconv.FormatInt(whole, 10)
+	}
+	return fmt.Sprintf("%d.%d", whole, frac)
+}

@@ -1,0 +1,58 @@
+package topology
+
+import "testing"
+
+func TestBandwidthString(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Bandwidth
+		want string
+	}{
+		{"zero", 0, "0bps"},
+		{"bits", 999, "999bps"},
+		{"kilo", 5 * Kbps, "5Kbps"},
+		{"kilo fraction", 1500 * Bps, "1.5Kbps"},
+		{"mega", 250 * Mbps, "250Mbps"},
+		{"mega fraction", 2500 * Kbps, "2.5Mbps"},
+		{"giga", Gbps, "1Gbps"},
+		{"giga fraction", 1500 * Mbps, "1.5Gbps"},
+		{"negative", -10 * Mbps, "-10Mbps"},
+		{"awkward value falls back to bps", 1234567, "1234567bps"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.in.String(); got != tt.want {
+				t.Errorf("Bandwidth(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	tests := []struct {
+		kind NodeKind
+		want string
+	}{
+		{KindHost, "host"},
+		{KindEdgeSwitch, "edge"},
+		{KindAggSwitch, "agg"},
+		{KindCoreSwitch, "core"},
+		{NodeKind(99), "NodeKind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("NodeKind.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNodeKindIsSwitch(t *testing.T) {
+	if KindHost.IsSwitch() {
+		t.Error("KindHost.IsSwitch() = true, want false")
+	}
+	for _, k := range []NodeKind{KindEdgeSwitch, KindAggSwitch, KindCoreSwitch} {
+		if !k.IsSwitch() {
+			t.Errorf("%v.IsSwitch() = false, want true", k)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"netupdate/internal/topology"
+)
+
+// Build the paper's testbed and inspect its dimensions.
+func ExampleNewFatTree() {
+	ft, err := topology.NewFatTree(8, topology.Gbps)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("switches:", ft.NumSwitches())
+	fmt.Println("hosts:", ft.NumHosts())
+	fmt.Println("directed links:", ft.Graph().NumLinks())
+	// Output:
+	// switches: 80
+	// hosts: 128
+	// directed links: 768
+}
+
+// Bandwidth bookkeeping is exact: reservations must fit and must be
+// released in full.
+func ExampleGraph_Reserve() {
+	g := topology.NewGraph()
+	a := g.AddNode(topology.KindEdgeSwitch, "a")
+	b := g.AddNode(topology.KindEdgeSwitch, "b")
+	link, _ := g.AddLink(a, b, topology.Gbps)
+
+	_ = g.Reserve(link, 600*topology.Mbps)
+	fmt.Println("residual:", g.Link(link).Residual())
+
+	if err := g.Reserve(link, 500*topology.Mbps); err != nil {
+		fmt.Println("second reserve rejected")
+	}
+	_ = g.Release(link, 600*topology.Mbps)
+	fmt.Println("after release:", g.Link(link).Residual())
+	// Output:
+	// residual: 400Mbps
+	// second reserve rejected
+	// after release: 1Gbps
+}

@@ -1,0 +1,214 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewFatTreeInvalidK(t *testing.T) {
+	for _, k := range []int{-2, 0, 1, 3, 7} {
+		if _, err := NewFatTree(k, Gbps); !errors.Is(err, ErrInvalidK) {
+			t.Errorf("NewFatTree(%d) error = %v, want ErrInvalidK", k, err)
+		}
+	}
+	if _, err := NewFatTree(4, -Gbps); !errors.Is(err, ErrNegativeBandwidth) {
+		t.Errorf("negative capacity error = %v, want ErrNegativeBandwidth", err)
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	tests := []struct {
+		k                       int
+		wantHosts, wantSwitches int
+	}{
+		{2, 2, 5},
+		{4, 16, 20},
+		{6, 54, 45},
+		{8, 128, 80}, // the paper's testbed: 5k^2/4 = 80 switches, k^3/4 = 128 servers
+	}
+	for _, tt := range tests {
+		ft, err := NewFatTree(tt.k, Gbps)
+		if err != nil {
+			t.Fatalf("NewFatTree(%d): %v", tt.k, err)
+		}
+		if got := ft.NumHosts(); got != tt.wantHosts {
+			t.Errorf("k=%d NumHosts = %d, want %d", tt.k, got, tt.wantHosts)
+		}
+		if got := ft.NumSwitches(); got != tt.wantSwitches {
+			t.Errorf("k=%d NumSwitches = %d, want %d", tt.k, got, tt.wantSwitches)
+		}
+		if got := ft.Graph().NumNodes(); got != tt.wantHosts+tt.wantSwitches {
+			t.Errorf("k=%d NumNodes = %d, want %d", tt.k, got, tt.wantHosts+tt.wantSwitches)
+		}
+		// Directed link count: each of core-agg (k * k/2 * k/2), agg-edge
+		// (k * k/2 * k/2) and edge-host (k^3/4) cables contributes 2 links.
+		half := tt.k / 2
+		cables := tt.k*half*half*2 + tt.k*half*half
+		if got := ft.Graph().NumLinks(); got != 2*cables {
+			t.Errorf("k=%d NumLinks = %d, want %d", tt.k, got, 2*cables)
+		}
+	}
+}
+
+func TestFatTreeDegrees(t *testing.T) {
+	const k = 8
+	ft, err := NewFatTree(k, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	for _, n := range g.Nodes() {
+		wantDeg := 0
+		switch n.Kind {
+		case KindHost:
+			wantDeg = 1
+		case KindEdgeSwitch, KindAggSwitch, KindCoreSwitch:
+			wantDeg = k
+		}
+		if got := len(g.Out(n.ID)); got != wantDeg {
+			t.Errorf("%v out-degree = %d, want %d", n, got, wantDeg)
+		}
+		if got := len(g.In(n.ID)); got != wantDeg {
+			t.Errorf("%v in-degree = %d, want %d", n, got, wantDeg)
+		}
+	}
+}
+
+func TestFatTreeWiring(t *testing.T) {
+	const k = 4
+	ft, err := NewFatTree(k, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	half := k / 2
+
+	// Aggregation switch i of every pod must reach exactly the core
+	// switches of group i.
+	for pod := 0; pod < k; pod++ {
+		for i := 0; i < half; i++ {
+			agg := ft.Agg(pod, i)
+			for grp := 0; grp < half; grp++ {
+				for j := 0; j < half; j++ {
+					_, connected := g.LinkBetween(agg, ft.Core(grp, j))
+					if want := grp == i; connected != want {
+						t.Errorf("pod%d/agg%d <-> core(%d,%d): connected=%v, want %v",
+							pod, i, grp, j, connected, want)
+					}
+				}
+			}
+		}
+	}
+	// Every edge switch connects to every aggregation switch of its pod and
+	// to no switch of other pods.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			edge := ft.Edge(pod, e)
+			for p2 := 0; p2 < k; p2++ {
+				for a := 0; a < half; a++ {
+					_, connected := g.LinkBetween(edge, ft.Agg(p2, a))
+					if want := p2 == pod; connected != want {
+						t.Errorf("pod%d/edge%d <-> pod%d/agg%d: connected=%v, want %v",
+							pod, e, p2, a, connected, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeHostAddr(t *testing.T) {
+	const k = 8
+	ft, err := NewFatTree(k, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := k / 2
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				id := ft.Host(pod, e, h)
+				gp, ge, gh, ok := ft.HostAddr(id)
+				if !ok || gp != pod || ge != e || gh != h {
+					t.Fatalf("HostAddr(Host(%d,%d,%d)) = (%d,%d,%d,%v)", pod, e, h, gp, ge, gh, ok)
+				}
+				if got := ft.PodOfHost(id); got != pod {
+					t.Errorf("PodOfHost = %d, want %d", got, pod)
+				}
+				if got := ft.EdgeOfHost(id); got != ft.Edge(pod, e) {
+					t.Errorf("EdgeOfHost = %v, want %v", got, ft.Edge(pod, e))
+				}
+			}
+		}
+	}
+	// Non-host nodes have no address.
+	if _, _, _, ok := ft.HostAddr(ft.Core(0, 0)); ok {
+		t.Error("HostAddr(core) reported ok")
+	}
+	if ft.PodOfHost(ft.Agg(0, 0)) != -1 {
+		t.Error("PodOfHost(agg) != -1")
+	}
+	if ft.EdgeOfHost(ft.Edge(0, 0)) != InvalidNode {
+		t.Error("EdgeOfHost(edge) != InvalidNode")
+	}
+}
+
+func TestFatTreeHostsAttachToDeclaredEdge(t *testing.T) {
+	ft, err := NewFatTree(4, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	for _, h := range ft.Hosts() {
+		edge := ft.EdgeOfHost(h)
+		if _, ok := g.LinkBetween(h, edge); !ok {
+			t.Errorf("host %v has no uplink to its edge switch %v", h, edge)
+		}
+		if _, ok := g.LinkBetween(edge, h); !ok {
+			t.Errorf("edge %v has no downlink to host %v", edge, h)
+		}
+	}
+}
+
+// TestFatTreeConnected verifies every host can reach every other host via
+// BFS over directed links — the basic sanity every experiment relies on.
+func TestFatTreeConnected(t *testing.T) {
+	ft, err := NewFatTree(4, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	src := ft.Hosts()[0]
+	seen := make([]bool, g.NumNodes())
+	queue := []NodeID{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, l := range g.Out(n) {
+			to := g.Link(l).To
+			if !seen[to] {
+				seen[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	for _, h := range ft.Hosts() {
+		if !seen[h] {
+			t.Errorf("host %v unreachable from %v", h, src)
+		}
+	}
+}
+
+func TestFatTreeLinkCapacity(t *testing.T) {
+	ft, err := NewFatTree(4, 10*Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	for i := 0; i < g.NumLinks(); i++ {
+		if got := g.Link(LinkID(i)).Capacity; got != 10*Gbps {
+			t.Fatalf("link %d capacity = %v, want 10Gbps", i, got)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidLeafSpine is returned by NewLeafSpine for degenerate shapes.
+var ErrInvalidLeafSpine = errors.New("leaf-spine needs >= 2 leaves, >= 1 spine, >= 1 host per leaf")
+
+// LeafSpine is a two-tier Clos fabric: every leaf connects to every spine,
+// hosts hang off leaves. It is the second common data-center topology
+// (after the Fat-Tree) and exercises the general BFS routing provider —
+// its path structure has no closed-form ECMP enumeration in this library.
+type LeafSpine struct {
+	// NumLeaves, NumSpines and HostsPerLeaf echo the construction.
+	NumLeaves    int
+	NumSpines    int
+	HostsPerLeaf int
+	// LinkCapacity is the capacity of every directed link.
+	LinkCapacity Bandwidth
+
+	graph  *Graph
+	spines []NodeID
+	leaves []NodeID
+	hosts  []NodeID
+}
+
+// NewLeafSpine builds a leaf-spine fabric with uniform link capacity.
+func NewLeafSpine(leaves, spines, hostsPerLeaf int, capacity Bandwidth) (*LeafSpine, error) {
+	if leaves < 2 || spines < 1 || hostsPerLeaf < 1 {
+		return nil, fmt.Errorf("leaves=%d spines=%d hosts/leaf=%d: %w",
+			leaves, spines, hostsPerLeaf, ErrInvalidLeafSpine)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("capacity %d: %w", int64(capacity), ErrNegativeBandwidth)
+	}
+	ls := &LeafSpine{
+		NumLeaves:    leaves,
+		NumSpines:    spines,
+		HostsPerLeaf: hostsPerLeaf,
+		LinkCapacity: capacity,
+		graph:        NewGraph(),
+	}
+	g := ls.graph
+	for s := 0; s < spines; s++ {
+		ls.spines = append(ls.spines, g.AddNode(KindCoreSwitch, fmt.Sprintf("spine%d", s)))
+	}
+	for l := 0; l < leaves; l++ {
+		leaf := g.AddNode(KindEdgeSwitch, fmt.Sprintf("leaf%d", l))
+		ls.leaves = append(ls.leaves, leaf)
+		for _, spine := range ls.spines {
+			if _, _, err := g.AddBiLink(leaf, spine, capacity); err != nil {
+				return nil, fmt.Errorf("leaf-spine wiring: %w", err)
+			}
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddNode(KindHost, fmt.Sprintf("h%d-%d", l, h))
+			ls.hosts = append(ls.hosts, host)
+			if _, _, err := g.AddBiLink(host, leaf, capacity); err != nil {
+				return nil, fmt.Errorf("leaf-spine host wiring: %w", err)
+			}
+		}
+	}
+	return ls, nil
+}
+
+// Graph returns the underlying graph (shared, live state).
+func (ls *LeafSpine) Graph() *Graph { return ls.graph }
+
+// Spine returns the s-th spine switch.
+func (ls *LeafSpine) Spine(s int) NodeID { return ls.spines[s] }
+
+// Leaf returns the l-th leaf switch.
+func (ls *LeafSpine) Leaf(l int) NodeID { return ls.leaves[l] }
+
+// Host returns the h-th host under leaf l.
+func (ls *LeafSpine) Host(l, h int) NodeID { return ls.hosts[l*ls.HostsPerLeaf+h] }
+
+// Hosts returns all hosts in address order. The slice is owned by the
+// LeafSpine and must not be modified.
+func (ls *LeafSpine) Hosts() []NodeID { return ls.hosts }
+
+// NumHosts returns the total host count.
+func (ls *LeafSpine) NumHosts() int { return len(ls.hosts) }

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewLeafSpineInvalid(t *testing.T) {
+	cases := [][3]int{{1, 2, 2}, {2, 0, 2}, {2, 2, 0}}
+	for _, c := range cases {
+		if _, err := NewLeafSpine(c[0], c[1], c[2], Gbps); !errors.Is(err, ErrInvalidLeafSpine) {
+			t.Errorf("NewLeafSpine(%v) error = %v, want ErrInvalidLeafSpine", c, err)
+		}
+	}
+	if _, err := NewLeafSpine(2, 2, 2, -1); !errors.Is(err, ErrNegativeBandwidth) {
+		t.Errorf("negative capacity error missing")
+	}
+}
+
+func TestLeafSpineStructure(t *testing.T) {
+	const leaves, spines, hpl = 6, 3, 4
+	ls, err := NewLeafSpine(leaves, spines, hpl, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ls.Graph()
+	if got := ls.NumHosts(); got != leaves*hpl {
+		t.Errorf("NumHosts = %d, want %d", got, leaves*hpl)
+	}
+	if got := g.NumNodes(); got != spines+leaves+leaves*hpl {
+		t.Errorf("NumNodes = %d", got)
+	}
+	// Every leaf reaches every spine; spines reach no host directly.
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			if _, ok := g.LinkBetween(ls.Leaf(l), ls.Spine(s)); !ok {
+				t.Errorf("leaf%d !-> spine%d", l, s)
+			}
+		}
+	}
+	for s := 0; s < spines; s++ {
+		for _, h := range ls.Hosts() {
+			if _, ok := g.LinkBetween(ls.Spine(s), h); ok {
+				t.Errorf("spine%d directly wired to host %v", s, h)
+			}
+		}
+	}
+	// Host addressing.
+	for l := 0; l < leaves; l++ {
+		for h := 0; h < hpl; h++ {
+			id := ls.Host(l, h)
+			if _, ok := g.LinkBetween(id, ls.Leaf(l)); !ok {
+				t.Errorf("host (%d,%d) not attached to its leaf", l, h)
+			}
+		}
+	}
+	// Degrees: leaf = spines + hosts, spine = leaves, host = 1.
+	for l := 0; l < leaves; l++ {
+		if got := len(g.Out(ls.Leaf(l))); got != spines+hpl {
+			t.Errorf("leaf%d degree = %d, want %d", l, got, spines+hpl)
+		}
+	}
+	for s := 0; s < spines; s++ {
+		if got := len(g.Out(ls.Spine(s))); got != leaves {
+			t.Errorf("spine%d degree = %d, want %d", s, got, leaves)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package topology
+
+import "fmt"
+
+// NodeID identifies a node (switch or host) within a Graph. IDs are dense
+// indexes assigned in insertion order, which lets callers use them directly
+// as slice indexes.
+type NodeID int
+
+// InvalidNode is returned by lookups that found no node.
+const InvalidNode NodeID = -1
+
+// NodeKind classifies a node by its role in the data-center topology.
+type NodeKind int
+
+// Node kinds. Hosts are traffic sources/sinks; the three switch tiers
+// mirror the Fat-Tree layering of the paper's evaluation testbed.
+const (
+	KindHost NodeKind = iota + 1
+	KindEdgeSwitch
+	KindAggSwitch
+	KindCoreSwitch
+)
+
+// String returns a short human-readable kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindEdgeSwitch:
+		return "edge"
+	case KindAggSwitch:
+		return "agg"
+	case KindCoreSwitch:
+		return "core"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// IsSwitch reports whether the kind is one of the switch tiers.
+func (k NodeKind) IsSwitch() bool {
+	switch k {
+	case KindEdgeSwitch, KindAggSwitch, KindCoreSwitch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Node is a vertex of the network graph.
+type Node struct {
+	// ID is the node's dense index within its Graph.
+	ID NodeID
+	// Kind classifies the node (host or switch tier).
+	Kind NodeKind
+	// Name is a human-readable label, e.g. "pod3/edge1" or "host(2,0,5)".
+	Name string
+}
+
+// String implements fmt.Stringer.
+func (n Node) String() string {
+	return fmt.Sprintf("%s#%d(%s)", n.Kind, int(n.ID), n.Name)
+}

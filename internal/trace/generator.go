@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+	"netupdate/internal/netstate"
+	"netupdate/internal/topology"
+)
+
+// ErrTargetUnreachable is returned by FillBackground when the utilization
+// target cannot be reached (placements keep failing).
+var ErrTargetUnreachable = errors.New("trace: utilization target unreachable")
+
+// Generator draws flows and update events over a fixed host set using a
+// traffic model and a seeded RNG. The paper maps the trace's anonymized
+// IPs onto testbed hosts with a hash; drawing uniform host pairs from a
+// seeded RNG is the equivalent construction for synthetic traffic.
+type Generator struct {
+	rng   *rand.Rand
+	model Model
+	hosts []topology.NodeID
+}
+
+// NewGenerator returns a Generator over the given hosts (at least 2).
+func NewGenerator(seed int64, model Model, hosts []topology.NodeID) (*Generator, error) {
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("trace: need at least 2 hosts, have %d", len(hosts))
+	}
+	cp := make([]topology.NodeID, len(hosts))
+	copy(cp, hosts)
+	return &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		model: model,
+		hosts: cp,
+	}, nil
+}
+
+// Spec draws one flow between a uniformly random distinct host pair.
+func (g *Generator) Spec() flow.Spec {
+	src := g.hosts[g.rng.Intn(len(g.hosts))]
+	dst := src
+	for dst == src {
+		dst = g.hosts[g.rng.Intn(len(g.hosts))]
+	}
+	size, demand := g.model.Sample(g.rng)
+	return flow.Spec{Src: src, Dst: dst, Demand: demand, Size: size}
+}
+
+// Specs draws n flows.
+func (g *Generator) Specs(n int) []flow.Spec {
+	out := make([]flow.Spec, n)
+	for i := range out {
+		out[i] = g.Spec()
+	}
+	return out
+}
+
+// Event draws one update event with a uniform flow count in
+// [minFlows, maxFlows] (the paper draws 10–100).
+func (g *Generator) Event(id flow.EventID, kind string, arrival time.Duration, minFlows, maxFlows int) *core.Event {
+	if maxFlows < minFlows {
+		minFlows, maxFlows = maxFlows, minFlows
+	}
+	n := minFlows
+	if maxFlows > minFlows {
+		n += g.rng.Intn(maxFlows - minFlows + 1)
+	}
+	return core.NewEvent(id, kind, arrival, g.Specs(n))
+}
+
+// Events draws a batch of events, all arriving at time zero with IDs
+// 1..n — the paper's "queue of n update events" setup.
+func (g *Generator) Events(n, minFlows, maxFlows int) []*core.Event {
+	out := make([]*core.Event, n)
+	for i := range out {
+		out[i] = g.Event(flow.EventID(i+1), "generated", 0, minFlows, maxFlows)
+	}
+	return out
+}
+
+// EventsPoisson draws a batch of events whose arrivals follow a Poisson
+// process with the given mean inter-arrival gap — the online-arrival
+// variant of Events, for experiments where the update queue builds and
+// drains over time instead of starting full.
+func (g *Generator) EventsPoisson(n, minFlows, maxFlows int, meanGap time.Duration) []*core.Event {
+	out := make([]*core.Event, n)
+	var clock time.Duration
+	for i := range out {
+		if i > 0 {
+			clock += time.Duration(g.rng.ExpFloat64() * float64(meanGap))
+		}
+		out[i] = g.Event(flow.EventID(i+1), "generated", clock, minFlows, maxFlows)
+	}
+	return out
+}
+
+// FillBackground injects background flows until the network's overall
+// utilization reaches target (in [0,1)), giving up after maxConsecFail
+// consecutive placement failures (default 200 when 0). It returns the
+// placed flows. Background flows carry flow.NoEvent and stay in place for
+// the whole simulation, like the paper's static background traffic.
+func FillBackground(net *netstate.Network, g *Generator, target float64, maxConsecFail int) ([]*flow.Flow, error) {
+	if maxConsecFail == 0 {
+		maxConsecFail = 200
+	}
+	var placed []*flow.Flow
+	fails := 0
+	for net.Utilization() < target {
+		spec := g.Spec()
+		f, err := net.AddFlow(spec)
+		if err != nil {
+			return placed, fmt.Errorf("trace: background flow: %w", err)
+		}
+		if _, err := net.PlaceBest(f); err != nil {
+			if !errors.Is(err, netstate.ErrNoFeasiblePath) {
+				return placed, fmt.Errorf("trace: background placement: %w", err)
+			}
+			if rmErr := net.Remove(f); rmErr != nil {
+				return placed, fmt.Errorf("trace: background cleanup: %w", rmErr)
+			}
+			fails++
+			if fails >= maxConsecFail {
+				return placed, fmt.Errorf("trace: stuck at %.3f utilization targeting %.3f: %w",
+					net.Utilization(), target, ErrTargetUnreachable)
+			}
+			continue
+		}
+		fails = 0
+		placed = append(placed, f)
+	}
+	return placed, nil
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/topology"
+)
+
+func TestModelsSampleValidValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []Model{YahooLike{}, Uniform{}} {
+		t.Run(m.Name(), func(t *testing.T) {
+			for i := 0; i < 2000; i++ {
+				size, demand := m.Sample(rng)
+				if size < 1 {
+					t.Fatalf("size = %d, want >= 1", size)
+				}
+				if demand < topology.Mbps || demand > 100*topology.Mbps {
+					t.Fatalf("demand = %v, want within [1,100] Mbps", demand)
+				}
+			}
+		})
+	}
+}
+
+func TestYahooLikeIsHeavyTailed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := YahooLike{}
+	sizes := make([]float64, 5000)
+	var total float64
+	for i := range sizes {
+		s, _ := m.Sample(rng)
+		sizes[i] = float64(s)
+		total += float64(s)
+	}
+	sort.Float64s(sizes)
+	// Heavy tail: the top 10% of flows must carry the majority of bytes.
+	var topTotal float64
+	for _, s := range sizes[len(sizes)*9/10:] {
+		topTotal += s
+	}
+	if frac := topTotal / total; frac < 0.5 {
+		t.Errorf("top-decile byte share = %.2f, want >= 0.5 (heavy tail)", frac)
+	}
+	// And the median must be small (mice dominate).
+	if median := sizes[len(sizes)/2]; median > 1e6 {
+		t.Errorf("median size = %.0f bytes, want mice-sized (< 1MB)", median)
+	}
+}
+
+func TestUniformRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Uniform{MinBytes: 100, MaxBytes: 200, MinDemandMbps: 5, MaxDemandMbps: 7}
+	for i := 0; i < 500; i++ {
+		size, demand := m.Sample(rng)
+		if size < 100 || size > 200 {
+			t.Fatalf("size = %d out of [100,200]", size)
+		}
+		if demand < 5*topology.Mbps || demand > 7*topology.Mbps {
+			t.Fatalf("demand = %v out of [5,7] Mbps", demand)
+		}
+	}
+}
+
+func newGen(t *testing.T, seed int64) (*Generator, *topology.FatTree) {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(seed, YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ft
+}
+
+func TestNewGeneratorNeedsHosts(t *testing.T) {
+	if _, err := NewGenerator(1, YahooLike{}, []topology.NodeID{1}); err == nil {
+		t.Error("NewGenerator with 1 host succeeded")
+	}
+}
+
+func TestGeneratorSpecsAreValid(t *testing.T) {
+	g, _ := newGen(t, 4)
+	for _, spec := range g.Specs(500) {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("generated invalid spec: %v", err)
+		}
+		if spec.Event != flow.NoEvent {
+			t.Fatal("plain spec carries an event ID")
+		}
+	}
+}
+
+func TestGeneratorEventFlowCounts(t *testing.T) {
+	g, _ := newGen(t, 5)
+	for i := 0; i < 100; i++ {
+		ev := g.Event(flow.EventID(i+1), "test", 0, 10, 100)
+		if n := ev.NumFlows(); n < 10 || n > 100 {
+			t.Fatalf("event flow count = %d, want [10,100]", n)
+		}
+		for _, s := range ev.Specs {
+			if s.Event != ev.ID {
+				t.Fatal("event spec not stamped with event ID")
+			}
+		}
+	}
+	// Degenerate range and swapped bounds.
+	if n := g.Event(1, "t", 0, 7, 7).NumFlows(); n != 7 {
+		t.Errorf("fixed-count event has %d flows, want 7", n)
+	}
+	if n := g.Event(1, "t", 0, 9, 3).NumFlows(); n < 3 || n > 9 {
+		t.Errorf("swapped-bounds event has %d flows", n)
+	}
+}
+
+func TestGeneratorEventsBatch(t *testing.T) {
+	g, _ := newGen(t, 6)
+	evs := g.Events(20, 10, 100)
+	if len(evs) != 20 {
+		t.Fatalf("Events = %d, want 20", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.ID != flow.EventID(i+1) {
+			t.Errorf("event %d ID = %d", i, ev.ID)
+		}
+		if ev.Arrival != 0 {
+			t.Errorf("event %d arrival = %v, want 0", i, ev.Arrival)
+		}
+	}
+}
+
+func TestGeneratorDeterministicUnderSeed(t *testing.T) {
+	g1, _ := newGen(t, 42)
+	g2, _ := newGen(t, 42)
+	for i := 0; i < 200; i++ {
+		a, b := g1.Spec(), g2.Spec()
+		if a != b {
+			t.Fatalf("same-seed generators diverged at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestFillBackgroundReachesTarget(t *testing.T) {
+	g, ft := newGen(t, 7)
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.WidestFit{})
+	placed, err := FillBackground(net, g, 0.3, 0)
+	if err != nil {
+		t.Fatalf("FillBackground: %v", err)
+	}
+	if len(placed) == 0 {
+		t.Fatal("no background flows placed")
+	}
+	if got := net.Utilization(); got < 0.3 {
+		t.Errorf("utilization = %.3f, want >= 0.3", got)
+	}
+	for _, f := range placed {
+		if !f.Placed() {
+			t.Errorf("background flow %v not placed", f)
+		}
+		if f.Event != flow.NoEvent {
+			t.Errorf("background flow %v carries event ID", f)
+		}
+	}
+}
+
+func TestFillBackgroundUnreachableTarget(t *testing.T) {
+	g, ft := newGen(t, 8)
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.WidestFit{})
+	// 100% utilization of every link is unreachable with unsplittable flows.
+	_, err := FillBackground(net, g, 0.999, 50)
+	if !errors.Is(err, ErrTargetUnreachable) {
+		t.Errorf("error = %v, want ErrTargetUnreachable", err)
+	}
+}
+
+func TestEventsPoissonWithinTracePackage(t *testing.T) {
+	g, _ := newGen(t, 44)
+	events := g.EventsPoisson(20, 2, 4, time.Second)
+	if len(events) != 20 {
+		t.Fatalf("events = %d, want 20", len(events))
+	}
+	if events[0].Arrival != 0 {
+		t.Errorf("first arrival = %v, want 0", events[0].Arrival)
+	}
+	var last time.Duration
+	for i, ev := range events {
+		if ev.Arrival < last {
+			t.Fatalf("event %d arrival %v before %v", i, ev.Arrival, last)
+		}
+		last = ev.Arrival
+		if n := ev.NumFlows(); n < 2 || n > 4 {
+			t.Errorf("event %d flows = %d, want [2,4]", i, n)
+		}
+	}
+	if last == 0 {
+		t.Error("all arrivals at 0; expected spread")
+	}
+}

@@ -1,0 +1,209 @@
+// Package transition orders a batch of flow migrations so that every
+// intermediate network state stays congestion-free — the consistent-
+// migration problem of the congestion-free update literature the paper
+// builds on (zUpdate [1], SWAN [6], Dionysus [9] in its Section VI).
+//
+// Given a set of moves (flow -> target path), a sequential order may not
+// exist: two flows can each wait for the capacity the other occupies.
+// Execute resolves such deadlocks Dionysus-style by routing a blocked
+// flow through a temporary intermediate path first, and rolls everything
+// back if no progress can be made at all.
+package transition
+
+import (
+	"errors"
+	"fmt"
+
+	"netupdate/internal/flow"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+)
+
+// ErrDeadlock is returned when no congestion-free order exists even with
+// intermediate paths; the network is restored to its initial state.
+var ErrDeadlock = errors.New("transition: migration deadlock")
+
+// Move asks for one flow to end up on Target.
+type Move struct {
+	Flow   *flow.Flow
+	Target routing.Path
+}
+
+// Step records one applied reroute of the resulting schedule.
+type Step struct {
+	// Flow is the rerouted flow.
+	Flow *flow.Flow
+	// Via is the path the flow moved to in this step.
+	Via routing.Path
+	// Final reports whether Via is the flow's target (false for a
+	// temporary detour used to break a deadlock).
+	Final bool
+}
+
+// Execute applies the moves in a congestion-free order and returns the
+// steps taken. Flows already on their targets produce no step. On
+// ErrDeadlock every flow is restored to its original path.
+//
+// The loop alternates two phases: apply every currently-feasible final
+// move; when stuck, try to break the deadlock by parking one blocked flow
+// on a temporary path with room. Each flow parks at most once per round,
+// and rounds are bounded, so Execute always terminates.
+func Execute(net *netstate.Network, moves []Move) ([]Step, error) {
+	pending := make([]*moveState, 0, len(moves))
+	for _, m := range moves {
+		if !m.Flow.Placed() {
+			return nil, fmt.Errorf("transition: %v not placed", m.Flow)
+		}
+		if m.Target.IsZero() {
+			return nil, fmt.Errorf("transition: %v has no target", m.Flow)
+		}
+		if m.Flow.Path().Equal(m.Target) {
+			continue
+		}
+		pending = append(pending, &moveState{move: m, origin: m.Flow.Path()})
+	}
+
+	var steps []Step
+	remaining := len(pending)
+	for rounds := 0; remaining > 0; rounds++ {
+		if rounds > 2*len(pending)+4 {
+			break // defensive bound; deadlock handling below should hit first
+		}
+		progress := false
+		// Phase 1: apply every final move that fits right now.
+		for _, st := range pending {
+			if st.done {
+				continue
+			}
+			if err := net.Reroute(st.move.Flow, st.move.Target); err == nil {
+				steps = append(steps, Step{Flow: st.move.Flow, Via: st.move.Target, Final: true})
+				st.done = true
+				remaining--
+				progress = true
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if progress {
+			continue
+		}
+		// Phase 2: deadlock — park one blocked flow on any path with room
+		// (other than where it is and its target), freeing its current
+		// links for the others.
+		parked := false
+		for _, st := range pending {
+			if st.done {
+				continue
+			}
+			f := st.move.Flow
+			for _, q := range net.Candidates(f) {
+				if q.Equal(f.Path()) || q.Equal(st.move.Target) {
+					continue
+				}
+				if err := net.Reroute(f, q); err == nil {
+					steps = append(steps, Step{Flow: f, Via: q, Final: false})
+					parked = true
+					break
+				}
+			}
+			if parked {
+				break
+			}
+		}
+		if !parked {
+			// Genuine deadlock: unwind every applied step in reverse.
+			unwound := unwind(net, steps, pending)
+			if !unwound {
+				panic("transition: rollback failed; ledger corrupt")
+			}
+			return nil, fmt.Errorf("%w: %d of %d moves blocked", ErrDeadlock, remaining, len(pending))
+		}
+	}
+	if remaining > 0 {
+		unwind(net, steps, pending)
+		return nil, fmt.Errorf("%w: %d of %d moves unresolved", ErrDeadlock, remaining, len(pending))
+	}
+	return steps, nil
+}
+
+// ExecuteBestEffort is Execute without the all-or-nothing guarantee. It
+// first attempts the full plan; if that deadlocks (state restored), it
+// falls back to pass-based direct moves — applying whatever lands, without
+// temporary parking — and returns the moves that never fit, which stay on
+// their original paths. Operators use this to roll out as much of a
+// traffic-engineering solution as the fabric currently admits.
+func ExecuteBestEffort(net *netstate.Network, moves []Move) (steps []Step, blocked []Move, err error) {
+	steps, err = Execute(net, moves)
+	if err == nil {
+		return steps, nil, nil
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		return nil, nil, err
+	}
+	// Execute restored the initial state; retry move-by-move, keeping
+	// whatever lands. Ordering effects are handled by looping until a
+	// full pass admits nothing more.
+	remaining := make([]Move, len(moves))
+	copy(remaining, moves)
+	for {
+		progress := false
+		var still []Move
+		for _, m := range remaining {
+			if m.Flow.Path().Equal(m.Target) {
+				continue
+			}
+			if rerouteErr := net.Reroute(m.Flow, m.Target); rerouteErr == nil {
+				steps = append(steps, Step{Flow: m.Flow, Via: m.Target, Final: true})
+				progress = true
+				continue
+			}
+			still = append(still, m)
+		}
+		remaining = still
+		if !progress || len(remaining) == 0 {
+			return steps, remaining, nil
+		}
+	}
+}
+
+// moveState tracks one requested move through Execute's rounds.
+type moveState struct {
+	move   Move
+	origin routing.Path
+	done   bool
+}
+
+// unwind restores every flow touched by steps to its original path, in
+// reverse step order (which exactly reverses the applied reservations).
+func unwind(net *netstate.Network, steps []Step, pending []*moveState) bool {
+	// Replay in reverse: each step moved Flow from some previous path to
+	// Via; the previous path is the flow's origin for its first step, or
+	// the Via of its previous step. Build per-flow step stacks.
+	perFlow := make(map[flow.ID][]int)
+	for i, st := range steps {
+		perFlow[st.Flow.ID] = append(perFlow[st.Flow.ID], i)
+	}
+	origins := make(map[flow.ID]routing.Path)
+	for _, st := range pending {
+		origins[st.move.Flow.ID] = st.origin
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		stack := perFlow[st.Flow.ID]
+		// Pop this step; the flow's destination is the Via of the step
+		// below it on its own stack, or its origin.
+		stack = stack[:len(stack)-1]
+		perFlow[st.Flow.ID] = stack
+		var back routing.Path
+		if len(stack) > 0 {
+			back = steps[stack[len(stack)-1]].Via
+		} else {
+			back = origins[st.Flow.ID]
+		}
+		if err := net.Reroute(st.Flow, back); err != nil {
+			return false
+		}
+	}
+	return true
+}
