@@ -28,6 +28,7 @@ func benchExperiment(b *testing.B, name string) {
 		b.Fatalf("unknown experiment %q", name)
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.Run(experiments.Options{Seed: int64(i + 1), Quick: true}); err != nil {
 			b.Fatal(err)
@@ -112,6 +113,7 @@ func BenchmarkFatTreePathsCached(b *testing.B) {
 // BenchmarkBuildFatTree measures substrate construction.
 func BenchmarkBuildFatTree(b *testing.B) {
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := topology.NewFatTree(8, topology.Gbps); err != nil {
 			b.Fatal(err)
@@ -279,7 +281,7 @@ func BenchmarkReserveRelease(b *testing.B) {
 // BenchmarkRegistryFlowsOn measures the link->flows inverted index query
 // used by every migration-candidate scan.
 func BenchmarkRegistryFlowsOn(b *testing.B) {
-	net, _, gen := benchEnv(b, 0.6)
+	net, _, _ := benchEnv(b, 0.6)
 	// Find the busiest link.
 	g := net.Graph()
 	var busiest topology.LinkID
@@ -288,10 +290,21 @@ func BenchmarkRegistryFlowsOn(b *testing.B) {
 			busiest = topology.LinkID(i)
 		}
 	}
-	_ = gen
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = net.Registry().FlowsOn(busiest)
+	}
+}
+
+// BenchmarkNetworkFork measures the scratch-state copy behind parallel
+// probing: per-link reservations plus flow placements on a loaded fabric
+// (topology and path caches are shared, not copied).
+func BenchmarkNetworkFork(b *testing.B) {
+	net, _, _ := benchEnv(b, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Fork()
 	}
 }

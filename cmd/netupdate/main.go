@@ -3,8 +3,8 @@
 // Usage:
 //
 //	netupdate -list
-//	netupdate -experiment fig6 [-seed 1] [-quick] [-csv dir] [-seeds n]
-//	netupdate -all [-seed 1] [-quick] [-csv dir]
+//	netupdate -experiment fig6 [-seed 1] [-quick] [-csv dir] [-seeds n] [-probes n]
+//	netupdate -all [-seed 1] [-quick] [-csv dir] [-probes n]
 //
 // With -seeds n > 1, the experiment runs n times under seeds
 // seed..seed+n-1 and a mean/min/max summary of every headline metric is
@@ -39,13 +39,14 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("netupdate", flag.ContinueOnError)
 	var (
-		list  = fs.Bool("list", false, "list available experiments")
-		name  = fs.String("experiment", "", "experiment to run (see -list)")
-		all   = fs.Bool("all", false, "run every experiment")
-		seed  = fs.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
-		quick = fs.Bool("quick", false, "shrink experiments for a fast smoke run")
-		csv   = fs.String("csv", "", "also write each table as CSV into this directory")
-		seeds = fs.Int("seeds", 1, "repeat the experiment under this many consecutive seeds and summarize headlines")
+		list   = fs.Bool("list", false, "list available experiments")
+		name   = fs.String("experiment", "", "experiment to run (see -list)")
+		all    = fs.Bool("all", false, "run every experiment")
+		seed   = fs.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		quick  = fs.Bool("quick", false, "shrink experiments for a fast smoke run")
+		csv    = fs.String("csv", "", "also write each table as CSV into this directory")
+		seeds  = fs.Int("seeds", 1, "repeat the experiment under this many consecutive seeds and summarize headlines")
+		probes = fs.Int("probes", 0, "scheduler probe concurrency: 0 = GOMAXPROCS, 1 = serial (results identical; only planning wall-time changes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,7 +60,7 @@ func run(args []string) int {
 		return 0
 	case *all:
 		for _, e := range experiments.All() {
-			if err := runOne(e, *seed, *quick, *csv); err != nil {
+			if err := runOne(e, *seed, *quick, *probes, *csv); err != nil {
 				fmt.Fprintf(os.Stderr, "netupdate: %s: %v\n", e.Name, err)
 				return 1
 			}
@@ -72,13 +73,13 @@ func run(args []string) int {
 			return 2
 		}
 		if *seeds > 1 {
-			if err := runSeeds(e, *seed, *seeds, *quick); err != nil {
+			if err := runSeeds(e, *seed, *seeds, *quick, *probes); err != nil {
 				fmt.Fprintf(os.Stderr, "netupdate: %s: %v\n", e.Name, err)
 				return 1
 			}
 			return 0
 		}
-		if err := runOne(e, *seed, *quick, *csv); err != nil {
+		if err := runOne(e, *seed, *quick, *probes, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "netupdate: %s: %v\n", e.Name, err)
 			return 1
 		}
@@ -89,9 +90,9 @@ func run(args []string) int {
 	}
 }
 
-func runOne(e experiments.Experiment, seed int64, quick bool, csvDir string) error {
+func runOne(e experiments.Experiment, seed int64, quick bool, probes int, csvDir string) error {
 	start := time.Now()
-	rep, err := e.Run(experiments.Options{Seed: seed, Quick: quick})
+	rep, err := e.Run(experiments.Options{Seed: seed, Quick: quick, Probes: probes})
 	if err != nil {
 		return err
 	}
@@ -109,14 +110,14 @@ func runOne(e experiments.Experiment, seed int64, quick bool, csvDir string) err
 
 // runSeeds repeats the experiment under n consecutive seeds and prints a
 // mean/min/max summary of every headline metric.
-func runSeeds(e experiments.Experiment, seed int64, n int, quick bool) error {
+func runSeeds(e experiments.Experiment, seed int64, n int, quick bool, probes int) error {
 	sums := make(map[string]float64)
 	mins := make(map[string]float64)
 	maxs := make(map[string]float64)
 	counts := make(map[string]int)
 	var order []string
 	for i := 0; i < n; i++ {
-		rep, err := e.Run(experiments.Options{Seed: seed + int64(i), Quick: quick})
+		rep, err := e.Run(experiments.Options{Seed: seed + int64(i), Quick: quick, Probes: probes})
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed+int64(i), err)
 		}

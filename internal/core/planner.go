@@ -44,6 +44,10 @@ type ExecResult struct {
 	// Evals counts planning work (feasibility evaluations), used for
 	// plan-time accounting.
 	Evals int
+	// Touched aggregates the links the event's admissions read, when the
+	// migration planner has touched-link tracking enabled (may contain
+	// duplicates). See migration.Result.Touched.
+	Touched []topology.LinkID
 }
 
 // Estimate is a non-committal cost probe of an event against the current
@@ -57,6 +61,11 @@ type Estimate struct {
 	Admittable int
 	// Evals counts planning work performed for the probe.
 	Evals int
+	// Touched lists the links whose reservation state the probe read
+	// (duplicates possible), when touched-link tracking is enabled on the
+	// migration planner. While none of them change, re-probing the same
+	// event is guaranteed to reproduce this estimate.
+	Touched []topology.LinkID
 }
 
 // Planner plans and executes update events against a network, one flow at
@@ -104,12 +113,18 @@ func (p *Planner) Probe(ev *Event) (*Estimate, error) {
 	if err != nil {
 		return nil, err
 	}
+	return res.estimate(), nil
+}
+
+// estimate condenses a trial run into the Estimate schedulers compare.
+func (r *ExecResult) estimate() *Estimate {
 	return &Estimate{
-		Cost:       res.Cost,
-		Feasible:   res.Failed == 0,
-		Admittable: len(res.Admitted),
-		Evals:      res.Evals,
-	}, nil
+		Cost:       r.Cost,
+		Feasible:   r.Failed == 0,
+		Admittable: len(r.Admitted),
+		Evals:      r.Evals,
+		Touched:    r.Touched,
+	}
 }
 
 // run admits the event's flows in order. When commit is false, all
@@ -144,6 +159,7 @@ func (p *Planner) run(ev *Event, commit bool) (*ExecResult, error) {
 		admit, err := p.mig.Admit(f)
 		if admit != nil {
 			res.Evals += admit.Evals
+			res.Touched = append(res.Touched, admit.Touched...)
 		}
 		if err != nil {
 			switch {

@@ -20,7 +20,7 @@ func AblationAlpha(opts Options) (*Report, error) {
 		k, util, nEvents = 4, 0.4, 5
 		minFlows, maxFlows = 3, 10
 	}
-	setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1100}
+	setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1100})
 
 	fifo, err := runScheduler(setup, func() sched.Scheduler { return sched.FIFO{} }, nEvents, minFlows, maxFlows)
 	if err != nil {
@@ -76,10 +76,10 @@ func AblationGreedy(opts Options) (*Report, error) {
 		Description: "migration set selection heuristics",
 	}
 	for _, strat := range strategies {
-		setup := Setup{
+		setup := opts.apply(Setup{
 			K: k, Utilization: util, Strategy: strat,
 			Seed: opts.Seed*1000 + 1200,
-		}
+		})
 		col, err := runScheduler(setup, func() sched.Scheduler { return sched.NewLMTF(4, setup.Seed) },
 			nEvents, minFlows, maxFlows)
 		if err != nil {
@@ -103,7 +103,7 @@ func AblationReorder(opts Options) (*Report, error) {
 		k, util, nEvents = 4, 0.4, 5
 		minFlows, maxFlows = 3, 10
 	}
-	setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1300}
+	setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1300})
 
 	table := metrics.NewTable("Ablation: LMTF sampling vs full reorder",
 		"scheduler", "avg ECT (s)", "tail ECT (s)", "decision evals", "plan time (s)")

@@ -40,11 +40,11 @@ func AblationChurn(opts Options) (*Report, error) {
 	for _, variant := range variants {
 		table := metrics.NewTable("Ablation ("+variant.name+"): vs FIFO",
 			"scheduler", "avg ECT (s)", "tail ECT (s)", "avg red.", "cost (Mbps)")
-		setup := Setup{
+		setup := opts.apply(Setup{
 			K: k, Utilization: util,
 			Seed:  opts.Seed*1000 + 1400,
 			Churn: variant.churn,
-		}
+		})
 		fifo, err := runScheduler(setup, func() sched.Scheduler { return sched.FIFO{} }, nEvents, minFlows, maxFlows)
 		if err != nil {
 			return nil, err
@@ -94,11 +94,11 @@ func AblationSplit(opts Options) (*Report, error) {
 		if split {
 			name = "two-splittable"
 		}
-		setup := Setup{
+		setup := opts.apply(Setup{
 			K: k, Utilization: util, Model: model,
 			Seed:       opts.Seed*1000 + 1600,
 			AllowSplit: split,
-		}
+		})
 		col, err := runScheduler(setup, func() sched.Scheduler { return sched.NewLMTF(4, setup.Seed) },
 			nEvents, minFlows, maxFlows)
 		if err != nil {
@@ -122,7 +122,7 @@ func AblationBatch(opts Options) (*Report, error) {
 		k, util, nEvents = 4, 0.4, 5
 		minFlows, maxFlows = 3, 10
 	}
-	setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1800}
+	setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1800})
 	table := metrics.NewTable("Ablation: opportunistic batch width (P-LMTF)",
 		"scan", "avg ECT (s)", "tail ECT (s)", "decision evals", "plan time (s)")
 	rep := &Report{
@@ -177,11 +177,11 @@ func AblationRuleOps(opts Options) (*Report, error) {
 		Description: "per-flow vs per-rule-operation install accounting",
 	}
 	for _, variant := range variants {
-		setup := Setup{
+		setup := opts.apply(Setup{
 			K: k, Utilization: util,
 			Seed:   opts.Seed*1000 + 1500,
 			Config: variant.cfg,
-		}
+		})
 		col, err := runScheduler(setup, func() sched.Scheduler { return sched.NewLMTF(4, setup.Seed) },
 			nEvents, minFlows, maxFlows)
 		if err != nil {

@@ -29,6 +29,17 @@ type Options struct {
 	// Quick shrinks the experiment (smaller fat-tree, fewer events and
 	// sweep points) for tests and benchmarks.
 	Quick bool
+	// Probes is the scheduler probe concurrency (sim.Config.Probes):
+	// 0 = GOMAXPROCS, 1 = serial. Results are identical at every setting;
+	// only real planning wall-time changes.
+	Probes int
+}
+
+// apply threads run-wide knobs (currently the probe concurrency) into a
+// figure's Setup; call it on every Setup that feeds a simulation.
+func (o Options) apply(s Setup) Setup {
+	s.Config.Probes = o.Probes
+	return s
 }
 
 // Setup describes one simulated environment.

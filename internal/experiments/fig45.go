@@ -35,7 +35,7 @@ func Fig4(opts Options) (*Report, error) {
 	var maxFlAvg, maxFlTail time.Duration
 
 	for i, mean := range means {
-		setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + int64(i)}
+		setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + int64(i)})
 		minFlows, maxFlows := mean-5, mean+5
 		if minFlows < 1 {
 			minFlows = 1
@@ -112,7 +112,7 @@ func Fig5(opts Options) (*Report, error) {
 	}
 	var sumAvgSp, sumTailSp float64
 	for i, n := range counts {
-		setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 500 + int64(i)}
+		setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 500 + int64(i)})
 		evCol, err := runScheduler(setup, func() sched.Scheduler { return sched.NewPLMTF(4, setup.Seed) },
 			n, minFlows, maxFlows)
 		if err != nil {

@@ -31,6 +31,8 @@ func Fig6(opts Options) (*Report, error) {
 		"events", "fifo", "lmtf", "p-lmtf", "lmtf red.", "p-lmtf red.")
 	planTable := metrics.NewTable("Fig 6(d): total plan time (seconds) and ratio vs FIFO",
 		"events", "fifo", "lmtf", "p-lmtf", "lmtf ratio", "p-lmtf ratio")
+	probeTable := metrics.NewTable("Fig 6(e): probe engine (epoch-cache hit rate, forks, real probe wall-time ms)",
+		"events", "lmtf hit", "p-lmtf hit", "lmtf forks", "p-lmtf forks", "lmtf ms", "p-lmtf ms")
 
 	rep := &Report{
 		Name:        "fig6",
@@ -40,9 +42,10 @@ func Fig6(opts Options) (*Report, error) {
 		minAvgRedP, maxAvgRedP   = 2.0, -2.0
 		minTailRedP, maxTailRedP = 2.0, -2.0
 		planRatioL, planRatioP   float64
+		hitRateL, hitRateP       float64
 	)
 	for i, n := range counts {
-		setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 600 + int64(i)}
+		setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 600 + int64(i)})
 		fifo, err := runScheduler(setup, func() sched.Scheduler { return sched.FIFO{} }, n, minFlows, maxFlows)
 		if err != nil {
 			return nil, err
@@ -71,6 +74,12 @@ func Fig6(opts Options) (*Report, error) {
 		planTable.AddRow(n,
 			seconds(fifo.PlanTime), seconds(lmtf.PlanTime), seconds(plmtf.PlanTime),
 			ratio(lmtf.PlanTime, fifo.PlanTime), ratio(plmtf.PlanTime, fifo.PlanTime))
+		probeTable.AddRow(n,
+			lmtf.ProbeHitRate(), plmtf.ProbeHitRate(),
+			lmtf.ProbeForks, plmtf.ProbeForks,
+			lmtf.ProbeWallTime.Seconds()*1e3, plmtf.ProbeWallTime.Seconds()*1e3)
+		hitRateL += lmtf.ProbeHitRate()
+		hitRateP += plmtf.ProbeHitRate()
 
 		redAvg := metrics.Reduction(fifo.AvgECT(), plmtf.AvgECT())
 		if redAvg < minAvgRedP {
@@ -89,13 +98,15 @@ func Fig6(opts Options) (*Report, error) {
 		planRatioL += ratio(lmtf.PlanTime, fifo.PlanTime)
 		planRatioP += ratio(plmtf.PlanTime, fifo.PlanTime)
 	}
-	rep.Tables = []*metrics.Table{costTable, avgTable, tailTable, planTable}
+	rep.Tables = []*metrics.Table{costTable, avgTable, tailTable, planTable, probeTable}
 	rep.headline("p-lmtf min avg-ECT reduction (paper 0.69)", minAvgRedP)
 	rep.headline("p-lmtf max avg-ECT reduction (paper 0.80)", maxAvgRedP)
 	rep.headline("p-lmtf min tail-ECT reduction (paper 0.35)", minTailRedP)
 	rep.headline("p-lmtf max tail-ECT reduction (paper 0.48)", maxTailRedP)
 	rep.headline("lmtf mean plan-time ratio (paper ~4.5)", planRatioL/float64(len(counts)))
 	rep.headline("p-lmtf mean plan-time ratio (paper ~2)", planRatioP/float64(len(counts)))
+	rep.headline("lmtf mean probe-cache hit rate", hitRateL/float64(len(counts)))
+	rep.headline("p-lmtf mean probe-cache hit rate", hitRateP/float64(len(counts)))
 	return rep, nil
 }
 

@@ -45,7 +45,7 @@ func Fig7(opts Options) (*Report, error) {
 			"target util", "achieved util", "avg red.", "tail red.")
 		var minAvg, maxAvg = 2.0, -2.0
 		for ui, u := range utils {
-			setup := Setup{K: k, Utilization: u, Seed: opts.Seed*1000 + 700 + int64(ki*10+ui)}
+			setup := opts.apply(Setup{K: k, Utilization: u, Seed: opts.Seed*1000 + 700 + int64(ki*10+ui)})
 			probe, err := NewEnv(setup)
 			if err != nil {
 				return nil, err

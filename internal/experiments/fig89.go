@@ -31,7 +31,7 @@ func Fig8(opts Options) (*Report, error) {
 	}
 	var sumAvgL, sumAvgP float64
 	for i, n := range counts {
-		setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 800 + int64(i)}
+		setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 800 + int64(i)})
 		fifo, err := runScheduler(setup, func() sched.Scheduler { return sched.FIFO{} }, n, minFlows, maxFlows)
 		if err != nil {
 			return nil, err
@@ -69,7 +69,7 @@ func Fig9(opts Options) (*Report, error) {
 		k, util, nEvents = 4, 0.4, 6
 		minFlows, maxFlows = 3, 10
 	}
-	setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 900}
+	setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 900})
 
 	type outcome struct {
 		name   string

@@ -42,7 +42,7 @@ func AblationOnline(opts Options) (*Report, error) {
 			func() sched.Scheduler { return sched.NewLMTF(4, opts.Seed) },
 			func() sched.Scheduler { return sched.NewPLMTF(4, opts.Seed) },
 		} {
-			setup := Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1700 + int64(gi)}
+			setup := opts.apply(Setup{K: k, Utilization: util, Seed: opts.Seed*1000 + 1700 + int64(gi)})
 			env, err := NewEnv(setup)
 			if err != nil {
 				return nil, err

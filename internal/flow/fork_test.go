@@ -1,0 +1,67 @@
+package flow
+
+import (
+	"testing"
+
+	"netupdate/internal/topology"
+)
+
+func TestRegistryForkIsolatesPlacements(t *testing.T) {
+	_, full, prefix, hosts := testNet(t)
+	r := NewRegistry()
+	placed := addFlow(t, r, hosts[0], hosts[2])
+	if err := r.Bind(placed, full); err != nil {
+		t.Fatal(err)
+	}
+	unplaced := addFlow(t, r, hosts[0], hosts[2])
+
+	fk := r.Fork()
+	if fk.Len() != r.Len() {
+		t.Fatalf("fork len = %d, want %d", fk.Len(), r.Len())
+	}
+	fplaced, err := fk.Get(placed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fplaced == placed {
+		t.Fatal("fork must clone flows, not share pointers")
+	}
+	if !fplaced.Placed() || !fplaced.Path().Equal(full) {
+		t.Fatal("clone must carry the original placement")
+	}
+
+	// Rebinding the clone must not move the original, and the fork's
+	// link index must follow the clone while the original's stays put.
+	if err := fk.Unbind(fplaced); err != nil {
+		t.Fatal(err)
+	}
+	if err := fk.Bind(fplaced, prefix); err != nil {
+		t.Fatal(err)
+	}
+	if !placed.Path().Equal(full) {
+		t.Error("rebinding the fork's clone moved the original flow")
+	}
+	lastLink := full.Links()[len(full.Links())-1]
+	if got := r.NumFlowsOn(lastLink); got != 1 {
+		t.Errorf("live NumFlowsOn(last) = %d, want 1", got)
+	}
+	if got := fk.NumFlowsOn(lastLink); got != 0 {
+		t.Errorf("fork NumFlowsOn(last) = %d, want 0 after rebind", got)
+	}
+
+	// ID allocation must continue identically on both sides, so planning
+	// against a fork registers trial flows under the same IDs the live
+	// network would assign.
+	fa, err := r.Add(Spec{Src: hosts[0], Dst: hosts[2], Demand: topology.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := fk.Add(Spec{Src: hosts[0], Dst: hosts[2], Demand: topology.Mbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.ID != fb.ID {
+		t.Errorf("next ID diverged: live %d vs fork %d", fa.ID, fb.ID)
+	}
+	_ = unplaced
+}

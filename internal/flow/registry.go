@@ -126,6 +126,32 @@ func (r *Registry) Remove(f *Flow) error {
 	return nil
 }
 
+// Fork returns a scratch copy of the registry for trial planning: every
+// flow is cloned (so Bind/Unbind on the fork never mutate the parent's
+// flows) and the link index is rebuilt over the clones. Paths are shared:
+// a Path's link slice is never mutated in place, only replaced. The ID
+// counter is carried over so fork-minted IDs stay in the parent's ID
+// order.
+func (r *Registry) Fork() *Registry {
+	nr := &Registry{
+		next:   r.next,
+		flows:  make(map[ID]*Flow, len(r.flows)),
+		onLink: make(map[topology.LinkID]map[ID]*Flow, len(r.onLink)),
+	}
+	for id, f := range r.flows {
+		cp := *f
+		nr.flows[id] = &cp
+	}
+	for l, m := range r.onLink {
+		nm := make(map[ID]*Flow, len(m))
+		for id := range m {
+			nm[id] = nr.flows[id]
+		}
+		nr.onLink[l] = nm
+	}
+	return nr
+}
+
 // FlowsOn returns the flows currently routed over the given link, sorted
 // by ID so that iteration is deterministic. The slice is freshly allocated.
 func (r *Registry) FlowsOn(link topology.LinkID) []*Flow {

@@ -50,6 +50,25 @@ type Collector struct {
 	PlanTime time.Duration
 	// Makespan is the virtual time at which the run finished.
 	Makespan time.Duration
+	// ProbeCacheHits and ProbeCacheMisses count scheduler cost probes
+	// answered from the epoch-based probe cache versus freshly planned.
+	ProbeCacheHits   int
+	ProbeCacheMisses int
+	// ProbeForks counts scratch-network forks created for parallel probing;
+	// ProbeResyncs counts fork refreshes after live-state commits.
+	ProbeForks   int
+	ProbeResyncs int
+	// ProbeWallTime is real (not simulated) wall-clock time spent probing.
+	ProbeWallTime time.Duration
+}
+
+// ProbeHitRate returns the probe cache hit rate, 0 when no probes ran.
+func (c *Collector) ProbeHitRate() float64 {
+	total := c.ProbeCacheHits + c.ProbeCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.ProbeCacheHits) / float64(total)
 }
 
 // NewCollector returns an empty collector.

@@ -103,6 +103,15 @@ type Result struct {
 	// Evals counts path/flow feasibility evaluations performed while
 	// planning; the simulator charges plan time proportional to it.
 	Evals int
+	// Touched, when touched-link tracking is enabled (SetTrackTouched),
+	// conservatively over-approximates the links whose reservation state
+	// this admission read: every link of every candidate path of the
+	// triggering flow, plus every link of every candidate path of each
+	// migration victim considered. If none of these links changed, a
+	// repeat of the admission plan is guaranteed to produce the same
+	// result — the soundness condition of the probe-cost cache. Entries
+	// may repeat; callers dedup.
+	Touched []topology.LinkID
 }
 
 // Planner admits flows into a Network, migrating existing flows when
@@ -112,6 +121,9 @@ type Planner struct {
 	strategy   Strategy
 	desired    DesiredPolicy
 	allowSplit bool
+	// trackTouched makes Admit record the links it reads in
+	// Result.Touched (probe-cost caching needs the read set).
+	trackTouched bool
 }
 
 // NewPlanner returns a Planner over the given network. strategy 0 defaults
@@ -126,8 +138,30 @@ func NewPlanner(net *netstate.Network, strategy Strategy) *Planner {
 // SetDesiredPolicy overrides how flows' desired paths are chosen.
 func (p *Planner) SetDesiredPolicy(policy DesiredPolicy) { p.desired = policy }
 
+// DesiredPolicy returns the active desired-path policy.
+func (p *Planner) DesiredPolicy() DesiredPolicy { return p.desired }
+
+// SetTrackTouched enables recording of the links each admission reads in
+// Result.Touched. Probe engines turn this on for their fork planners so
+// cached cost estimates can be invalidated precisely.
+func (p *Planner) SetTrackTouched(track bool) { p.trackTouched = track }
+
 // Network returns the planner's network.
 func (p *Planner) Network() *netstate.Network { return p.net }
+
+// CloneFor returns a planner with this planner's exact configuration
+// (greedy strategy, desired-path policy, split and tracking settings)
+// bound to a different network — typically a probe fork of this
+// planner's network.
+func (p *Planner) CloneFor(net *netstate.Network) *Planner {
+	return &Planner{
+		net:          net,
+		strategy:     p.strategy,
+		desired:      p.desired,
+		allowSplit:   p.allowSplit,
+		trackTouched: p.trackTouched,
+	}
+}
 
 // Admit places f into the network, applying migrations if its candidate
 // paths lack capacity. On success the returned Result reflects the applied
@@ -140,6 +174,11 @@ func (p *Planner) Admit(f *flow.Flow) (*Result, error) {
 
 	candidates := p.net.Candidates(f)
 	res.Evals += len(candidates)
+	if p.trackTouched {
+		for _, q := range candidates {
+			res.Touched = append(res.Touched, q.Links()...)
+		}
+	}
 	if len(candidates) == 0 {
 		return res, fmt.Errorf("admit %v: no candidate paths: %w", f, netstate.ErrNoFeasiblePath)
 	}
@@ -227,6 +266,14 @@ func (p *Planner) freeCapacity(f *flow.Flow, desired routing.Path, res *Result) 
 	// utilization and are exactly the unfixable case.
 	usable := make([]*flow.Flow, 0, len(candidates))
 	for _, cand := range candidates {
+		if p.trackTouched {
+			// Every candidate victim's candidate-path links are read below
+			// (detour scans) and their occupancy determined which victims
+			// appeared at all; record them for cache invalidation.
+			for _, q := range p.net.Candidates(cand) {
+				res.Touched = append(res.Touched, q.Links()...)
+			}
+		}
 		if p.detourable(cand, congested, res) {
 			usable = append(usable, cand)
 		}

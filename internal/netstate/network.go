@@ -57,6 +57,34 @@ func New(g *topology.Graph, provider routing.Provider, selector routing.Selector
 // Graph returns the underlying graph (shared, live state).
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
+// Fork returns a scratch copy of the network for trial planning: the
+// graph's reservation ledger and the flow registry are copied, while the
+// immutable topology, the routing provider (with its path cache) and the
+// selector are shared. Mutations on the fork never touch the live
+// network, so cost probes can run on forks concurrently with each other
+// (each probe owns its fork) and with reads of the live state.
+//
+// The data plane is deliberately NOT carried onto forks: rule tables have
+// their own mutable state that forking does not capture. Callers that
+// need probe results faithful to rule-table admission (DataPlane() !=
+// nil) must probe the live network serially instead.
+func (n *Network) Fork() *Network {
+	return &Network{
+		graph:    n.graph.Fork(),
+		provider: n.provider,
+		selector: n.selector,
+		reg:      n.reg.Fork(),
+	}
+}
+
+// SyncFrom resets a fork's mutable state to match src: reservations are
+// copied in place and the flow registry is re-forked. The topology must
+// match (it panics otherwise, via Graph.SyncFrom).
+func (n *Network) SyncFrom(src *Network) {
+	n.graph.SyncFrom(src.graph)
+	n.reg = src.reg.Fork()
+}
+
 // Provider returns the routing provider.
 func (n *Network) Provider() routing.Provider { return n.provider }
 

@@ -1,18 +1,22 @@
 package routing
 
 import (
+	"sync"
+
 	"netupdate/internal/topology"
 )
 
 // BFSProvider enumerates all shortest paths between node pairs of an
 // arbitrary graph, up to a configurable cap per pair. It serves as the
 // general-graph fallback for topologies without a closed-form ECMP set
-// (e.g. the degraded graphs of the link-failure example).
+// (e.g. the degraded graphs of the link-failure example). The cache is
+// lock-guarded so concurrent probes on forked networks can share it.
 type BFSProvider struct {
 	g *topology.Graph
 	// maxPaths caps the number of shortest paths enumerated per pair to
 	// bound memory on dense graphs. 0 means no cap.
 	maxPaths int
+	mu       sync.RWMutex
 	cache    map[[2]topology.NodeID][]Path
 }
 
@@ -31,7 +35,9 @@ func NewBFSProvider(g *topology.Graph, maxPaths int) *BFSProvider {
 // Invalidate drops all cached path sets. Call after mutating the graph's
 // structure (adding nodes or links); bandwidth changes need no invalidation.
 func (p *BFSProvider) Invalidate() {
+	p.mu.Lock()
 	p.cache = make(map[[2]topology.NodeID][]Path)
+	p.mu.Unlock()
 }
 
 // Paths implements Provider, returning every shortest src->dst path (up to
@@ -41,11 +47,20 @@ func (p *BFSProvider) Paths(src, dst topology.NodeID) []Path {
 		return nil
 	}
 	key := [2]topology.NodeID{src, dst}
-	if paths, ok := p.cache[key]; ok {
+	p.mu.RLock()
+	paths, ok := p.cache[key]
+	p.mu.RUnlock()
+	if ok {
 		return paths
 	}
-	paths := p.compute(src, dst)
-	p.cache[key] = paths
+	paths = p.compute(src, dst)
+	p.mu.Lock()
+	if prior, ok := p.cache[key]; ok {
+		paths = prior
+	} else {
+		p.cache[key] = paths
+	}
+	p.mu.Unlock()
 	return paths
 }
 

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 
 	"netupdate/internal/topology"
 )
@@ -15,9 +16,11 @@ import (
 //
 // Path sets are computed lazily and cached; the provider is therefore
 // cheap to query repeatedly for the same pair, which the migration planner
-// does heavily.
+// does heavily. The cache is guarded by a read-write lock so concurrent
+// probes on forked networks can share one provider (and one warm cache).
 type FatTreeProvider struct {
 	ft    *topology.FatTree
+	mu    sync.RWMutex
 	cache map[[2]topology.NodeID][]Path
 }
 
@@ -38,11 +41,22 @@ func (p *FatTreeProvider) Paths(src, dst topology.NodeID) []Path {
 		return nil
 	}
 	key := [2]topology.NodeID{src, dst}
-	if paths, ok := p.cache[key]; ok {
+	p.mu.RLock()
+	paths, ok := p.cache[key]
+	p.mu.RUnlock()
+	if ok {
 		return paths
 	}
-	paths := p.compute(src, dst)
-	p.cache[key] = paths
+	paths = p.compute(src, dst)
+	p.mu.Lock()
+	// A concurrent probe may have computed the same pair; keep the first
+	// entry so every caller sees one canonical slice.
+	if prior, ok := p.cache[key]; ok {
+		paths = prior
+	} else {
+		p.cache[key] = paths
+	}
+	p.mu.Unlock()
 	return paths
 }
 

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"container/heap"
+	"sync"
 
 	"netupdate/internal/topology"
 )
@@ -15,7 +16,9 @@ import (
 type KShortestProvider struct {
 	g *topology.Graph
 	k int
-	// bfs computes the repeated shortest-path queries Yen's needs.
+	// cache memoizes per-pair path sets; lock-guarded so concurrent
+	// probes on forked networks can share it.
+	mu    sync.RWMutex
 	cache map[[2]topology.NodeID][]Path
 }
 
@@ -36,7 +39,9 @@ func NewKShortestProvider(g *topology.Graph, k int) *KShortestProvider {
 
 // Invalidate drops all cached path sets (call after structural changes).
 func (p *KShortestProvider) Invalidate() {
+	p.mu.Lock()
 	p.cache = make(map[[2]topology.NodeID][]Path)
+	p.mu.Unlock()
 }
 
 // Paths implements Provider.
@@ -45,11 +50,20 @@ func (p *KShortestProvider) Paths(src, dst topology.NodeID) []Path {
 		return nil
 	}
 	key := [2]topology.NodeID{src, dst}
-	if paths, ok := p.cache[key]; ok {
+	p.mu.RLock()
+	paths, ok := p.cache[key]
+	p.mu.RUnlock()
+	if ok {
 		return paths
 	}
-	paths := p.compute(src, dst)
-	p.cache[key] = paths
+	paths = p.compute(src, dst)
+	p.mu.Lock()
+	if prior, ok := p.cache[key]; ok {
+		paths = prior
+	} else {
+		p.cache[key] = paths
+	}
+	p.mu.Unlock()
 	return paths
 }
 

@@ -19,16 +19,33 @@ const DefaultAlpha = 4
 // executes the cheapest of the α+1 candidates. Smaller events therefore
 // overtake a heavy head (no head-of-line blocking) while un-sampled events
 // keep their FIFO positions (bounded unfairness).
+//
+// Cost probes go through a core.ProbeEngine: the α+1 probes fan out over
+// forked scratch networks (bounded by the Probes knob) and repeat probes
+// of unchanged candidates are answered from the engine's epoch cache.
+// Neither changes the decision — probes are read-isolated and the winner
+// is still the (cost, arrival-order) minimum over the same sampled set —
+// so serial and parallel configurations pick identical schedules.
 type LMTF struct {
 	// Alpha is the sample size (>= 1).
 	Alpha int
 	rng   *rand.Rand
+	// probes is the requested probe concurrency (0 = GOMAXPROCS,
+	// 1 = serial).
+	probes int
+	// eng is the probe engine, bound lazily to the planner Pick receives.
+	eng *core.ProbeEngine
+	// scratch backs sampleIndices between rounds so sampling allocates
+	// nothing in steady state.
+	scratch []int
 }
 
 var _ Scheduler = (*LMTF)(nil)
+var _ CostProber = (*LMTF)(nil)
 
 // NewLMTF returns an LMTF scheduler with the given sample size (0 means
-// DefaultAlpha) and RNG seed.
+// DefaultAlpha) and RNG seed. Probe concurrency defaults to GOMAXPROCS;
+// override with SetProbes.
 func NewLMTF(alpha int, seed int64) *LMTF {
 	if alpha == 0 {
 		alpha = DefaultAlpha
@@ -38,6 +55,25 @@ func NewLMTF(alpha int, seed int64) *LMTF {
 
 // Name implements Scheduler.
 func (s *LMTF) Name() string { return fmt.Sprintf("lmtf(a=%d)", s.Alpha) }
+
+// SetProbes implements CostProber: n is the maximum number of concurrent
+// cost probes (0 = GOMAXPROCS, 1 = serial probing).
+func (s *LMTF) SetProbes(n int) {
+	if s.probes == n {
+		return
+	}
+	s.probes = n
+	s.eng = nil // rebuilt with the new width on next Pick
+}
+
+// ProbeEngine implements CostProber, returning the engine bound to the
+// given planner (rebinding if the planner changed since the last round).
+func (s *LMTF) ProbeEngine(planner *core.Planner) *core.ProbeEngine {
+	if s.eng == nil || s.eng.Planner() != planner {
+		s.eng = core.NewProbeEngine(planner, s.probes)
+	}
+	return s.eng
+}
 
 // Pick implements Scheduler.
 func (s *LMTF) Pick(q *Queue, planner *core.Planner) (Decision, error) {
@@ -65,16 +101,20 @@ func (s *LMTF) selectCandidates(q *Queue, planner *core.Planner) ([]candidate, D
 		return nil, Decision{}, ErrEmptyQueue
 	}
 	d := Decision{}
-	indices := sampleIndices(s.rng, q.Len(), s.Alpha)
+	indices := s.sampleIndices(q.Len(), s.Alpha)
+	evs := make([]*core.Event, len(indices))
+	for j, i := range indices {
+		evs[j] = q.At(i)
+	}
+	ests, err := s.ProbeEngine(planner).ProbeAll(evs)
+	if err != nil {
+		return nil, Decision{}, err
+	}
 	cands := make([]candidate, 0, len(indices))
-	for _, i := range indices {
-		ev := q.At(i)
-		est, err := probeCost(planner, ev)
-		if err != nil {
-			return nil, Decision{}, err
-		}
+	for j, i := range indices {
+		est := ests[j]
 		d.Evals += est.Evals
-		cands = append(cands, candidate{ev: ev, index: i, cost: est.Cost, admittable: est.Admittable})
+		cands = append(cands, candidate{ev: evs[j], index: i, cost: est.Cost, admittable: est.Admittable})
 	}
 	// Move the winner to the front; keep everyone else in arrival order.
 	best := 0
@@ -94,9 +134,12 @@ func (s *LMTF) selectCandidates(q *Queue, planner *core.Planner) ([]candidate, D
 // sampleIndices returns {0} ∪ α distinct random indices from [1, n), in
 // increasing order after the leading 0. With n-1 <= α it returns all
 // indices (the paper: LMTF "does not persist in sampling α events when the
-// queue contains less than α+1").
-func sampleIndices(rng *rand.Rand, n, alpha int) []int {
-	out := []int{0}
+// queue contains less than α+1"). The returned slice is backed by the
+// scheduler's scratch buffer and is valid until the next call; steady
+// state allocates nothing.
+func (s *LMTF) sampleIndices(n, alpha int) []int {
+	out := append(s.scratch[:0], 0)
+	defer func() { s.scratch = out[:0] }()
 	rest := n - 1
 	if rest <= 0 {
 		return out
@@ -107,25 +150,32 @@ func sampleIndices(rng *rand.Rand, n, alpha int) []int {
 		}
 		return out
 	}
-	// Floyd's algorithm: α distinct values from [1, n).
-	chosen := make(map[int]bool, alpha)
+	// Floyd's algorithm: α distinct values from [1, n). Membership tests
+	// scan the picks gathered so far — α is tiny, so a linear scan beats
+	// allocating a set, and the accepted values match the map-based
+	// formulation exactly (same RNG consumption, same picks).
+	contains := func(picks []int, v int) bool {
+		for _, p := range picks {
+			if p == v {
+				return true
+			}
+		}
+		return false
+	}
 	for j := rest - alpha; j < rest; j++ {
 		// candidate in [1, j+1]
-		v := 1 + rng.Intn(j+1)
-		if chosen[v] {
+		v := 1 + s.rng.Intn(j+1)
+		if contains(out[1:], v) {
 			v = j + 1
 		}
-		chosen[v] = true
+		out = append(out, v)
 	}
-	picks := make([]int, 0, alpha)
-	for v := range chosen {
-		picks = append(picks, v)
-	}
-	// Sort the small pick set (insertion sort keeps this allocation-free).
+	// Sort the small pick tail (insertion sort keeps this allocation-free).
+	picks := out[1:]
 	for i := 1; i < len(picks); i++ {
 		for j := i; j > 0 && picks[j] < picks[j-1]; j-- {
 			picks[j], picks[j-1] = picks[j-1], picks[j]
 		}
 	}
-	return append(out, picks...)
+	return out
 }

@@ -25,6 +25,7 @@ type PLMTF struct {
 }
 
 var _ Scheduler = (*PLMTF)(nil)
+var _ CostProber = (*PLMTF)(nil)
 
 // NewPLMTF returns a P-LMTF scheduler with the given sample size (0 means
 // DefaultAlpha) and RNG seed.
@@ -49,6 +50,15 @@ func (s *PLMTF) Alpha() int { return s.inner.Alpha }
 // work by the queue length — the overhead the paper's design avoids.
 func (s *PLMTF) SetScanAll(all bool) { s.scanAll = all }
 
+// SetProbes implements CostProber, delegating to the inner LMTF.
+func (s *PLMTF) SetProbes(n int) { s.inner.SetProbes(n) }
+
+// ProbeEngine implements CostProber, delegating to the inner LMTF so both
+// the selection probes and the full-queue scan share one cache.
+func (s *PLMTF) ProbeEngine(planner *core.Planner) *core.ProbeEngine {
+	return s.inner.ProbeEngine(planner)
+}
+
 // Pick implements Scheduler: the LMTF winner plus the remaining
 // candidates, in arrival order, as opportunistic co-runners.
 func (s *PLMTF) Pick(q *Queue, planner *core.Planner) (Decision, error) {
@@ -66,22 +76,31 @@ func (s *PLMTF) Pick(q *Queue, planner *core.Planner) (Decision, error) {
 		for _, c := range cands {
 			byEvent[c.ev] = c.admittable
 		}
+		var unprobed []*core.Event
+		for i := 0; i < q.Len(); i++ {
+			if ev := q.At(i); ev != d.Head {
+				if _, ok := byEvent[ev]; !ok {
+					unprobed = append(unprobed, ev)
+				}
+			}
+		}
+		// Batch the un-sampled events through the probe engine so the
+		// full-queue scan also gets fork parallelism and epoch caching.
+		ests, err := s.ProbeEngine(planner).ProbeAll(unprobed)
+		if err != nil {
+			return Decision{}, err
+		}
+		for j, ev := range unprobed {
+			d.Evals += ests[j].Evals
+			byEvent[ev] = ests[j].Admittable
+		}
 		rest := make([]Candidate, 0, q.Len()-1)
 		for i := 0; i < q.Len(); i++ {
 			ev := q.At(i)
 			if ev == d.Head {
 				continue
 			}
-			alone, ok := byEvent[ev]
-			if !ok {
-				est, err := probeCost(planner, ev)
-				if err != nil {
-					return Decision{}, err
-				}
-				d.Evals += est.Evals
-				alone = est.Admittable
-			}
-			rest = append(rest, Candidate{Event: ev, AloneAdmittable: alone})
+			rest = append(rest, Candidate{Event: ev, AloneAdmittable: byEvent[ev]})
 		}
 		d.Opportunistic = rest
 		return d, nil

@@ -47,6 +47,19 @@ type Scheduler interface {
 	Pick(q *Queue, planner *core.Planner) (Decision, error)
 }
 
+// CostProber is implemented by schedulers whose cost probes run through a
+// core.ProbeEngine (LMTF and P-LMTF). The simulator uses it to thread the
+// Probes concurrency knob through, to route its own opportunistic
+// re-probes via the same engine (sharing the cache), and to read probe
+// statistics at the end of a run.
+type CostProber interface {
+	Scheduler
+	// SetProbes sets the probe concurrency (0 = GOMAXPROCS, 1 = serial).
+	SetProbes(n int)
+	// ProbeEngine returns the engine bound to the given planner.
+	ProbeEngine(planner *core.Planner) *core.ProbeEngine
+}
+
 // probeCost estimates an event's current update cost, tolerating
 // infeasible events (their cost still orders them; infeasibility at probe
 // time does not exclude an event from being scheduled later).

@@ -360,11 +360,11 @@ func TestPickLeavesNetworkUntouched(t *testing.T) {
 }
 
 func TestSampleIndicesProperties(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	s := &LMTF{rng: rand.New(rand.NewSource(11))}
 	f := func(nRaw, alphaRaw uint8) bool {
 		n := int(nRaw%50) + 1
 		alpha := int(alphaRaw % 10)
-		got := sampleIndices(rng, n, alpha)
+		got := s.sampleIndices(n, alpha)
 		if got[0] != 0 {
 			return false
 		}

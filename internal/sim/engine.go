@@ -35,6 +35,9 @@ type Engine struct {
 // NewEngine builds an engine. The planner owns the (pre-filled) network;
 // cfg zero fields take documented defaults.
 func NewEngine(planner *core.Planner, scheduler sched.Scheduler, cfg Config) *Engine {
+	if cp, ok := scheduler.(sched.CostProber); ok {
+		cp.SetProbes(cfg.Probes)
+	}
 	return &Engine{
 		cfg:       cfg.withDefaults(),
 		planner:   planner,
@@ -42,6 +45,15 @@ func NewEngine(planner *core.Planner, scheduler sched.Scheduler, cfg Config) *En
 		queue:     sched.NewQueue(),
 		collector: metrics.NewCollector(),
 	}
+}
+
+// probeEngine returns the scheduler's probe engine, or nil for schedulers
+// (FIFO, Reorder) that probe the live network directly.
+func (e *Engine) probeEngine() *core.ProbeEngine {
+	if cp, ok := e.scheduler.(sched.CostProber); ok {
+		return cp.ProbeEngine(e.planner)
+	}
+	return nil
 }
 
 // Run simulates the given events to completion and returns the collected
@@ -181,8 +193,18 @@ func (e *Engine) runRound() error {
 	// candidate whose admission is not degraded by what this round has
 	// already committed — running together must not interfere (flows that
 	// fail either way, e.g. on saturated access links, do not block it).
+	pe := e.probeEngine()
 	for _, cand := range decision.Opportunistic {
-		est, err := e.planner.Probe(cand.Event)
+		// Re-probe through the scheduler's probe engine when it has one, so
+		// a candidate untouched by this round's commits is answered from
+		// the epoch cache instead of replanned.
+		var est *core.Estimate
+		var err error
+		if pe != nil {
+			est, err = pe.Probe(cand.Event)
+		} else {
+			est, err = e.planner.Probe(cand.Event)
+		}
 		if err != nil {
 			return fmt.Errorf("sim: opportunistic probe of %v: %w", cand.Event, err)
 		}
@@ -201,7 +223,24 @@ func (e *Engine) runRound() error {
 	}
 
 	e.advanceTo(roundEnd)
+	e.syncProbeStats()
 	return nil
+}
+
+// syncProbeStats copies the probe engine's cumulative counters into the
+// collector (assignment, not addition — the engine's counters are already
+// totals for the run).
+func (e *Engine) syncProbeStats() {
+	pe := e.probeEngine()
+	if pe == nil {
+		return
+	}
+	st := pe.Stats()
+	e.collector.ProbeCacheHits = st.Hits
+	e.collector.ProbeCacheMisses = st.Misses
+	e.collector.ProbeForks = st.Forks
+	e.collector.ProbeResyncs = st.Resyncs
+	e.collector.ProbeWallTime = st.ProbeTime
 }
 
 // runLane executes one event starting at laneStart and returns the lane's
@@ -214,6 +253,9 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 	res, err := e.planner.Execute(ev)
 	if err != nil {
 		return 0, fmt.Errorf("sim: executing %v: %w", ev, err)
+	}
+	if pe := e.probeEngine(); pe != nil {
+		pe.Forget(ev.ID) // executed events are never probed again
 	}
 	lanePlan := e.cfg.planTime(res.Evals)
 	e.collector.PlanTime += lanePlan

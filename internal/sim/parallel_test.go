@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"netupdate/internal/core"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/sched"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+// parallelRun simulates a fixed 20-event workload on a loaded k=4 fat-tree
+// under the given scheduler and probe concurrency, returning the decision
+// sequence (records in completion order) and a fingerprint of the final
+// network state.
+func parallelRun(t *testing.T, mkSched func() sched.Scheduler, probes int) (decisions, state string) {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ft.Graph()
+	net := netstate.New(g, routing.NewFatTreeProvider(ft), routing.NewRandomFit(41))
+	gen, err := trace.NewGenerator(17, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.FillBackground(net, gen, 0.6, 0); err != nil {
+		t.Fatal(err)
+	}
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+	events := gen.Events(20, 3, 15)
+	eng := NewEngine(planner, mkSched(), Config{Probes: probes})
+	col, err := eng.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dec strings.Builder
+	for _, r := range col.Records() {
+		fmt.Fprintf(&dec, "ev%d flows=%d failed=%d cost=%v start=%v end=%v\n",
+			r.Event, r.Flows, r.Failed, r.Cost, r.Start, r.Completion)
+	}
+
+	var st strings.Builder
+	for i := 0; i < g.NumLinks(); i++ {
+		fmt.Fprintf(&st, "link%d=%v\n", i, g.Link(topology.LinkID(i)).Reserved())
+	}
+	var placements []string
+	for _, f := range net.Registry().Placed() {
+		placements = append(placements, fmt.Sprintf("flow%d:%v", f.ID, f.Path().Links()))
+	}
+	sort.Strings(placements)
+	st.WriteString(strings.Join(placements, "\n"))
+	return dec.String(), st.String()
+}
+
+// TestProbesKnobIsScheduleInvariant: the Probes knob buys wall-clock
+// planning speed only — the decision sequence and the final network state
+// must be bit-identical between serial and wide parallel probing, for both
+// probing schedulers. (Run with -race to also exercise the concurrent
+// probe paths.)
+func TestProbesKnobIsScheduleInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() sched.Scheduler
+	}{
+		{"lmtf", func() sched.Scheduler { return sched.NewLMTF(4, 7) }},
+		{"plmtf", func() sched.Scheduler { return sched.NewPLMTF(4, 7) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serialDec, serialState := parallelRun(t, tc.mk, 1)
+			parallelDec, parallelState := parallelRun(t, tc.mk, 8)
+			if serialDec != parallelDec {
+				t.Errorf("decision sequences diverge between Probes=1 and Probes=8:\n--- serial ---\n%s--- parallel ---\n%s",
+					serialDec, parallelDec)
+			}
+			if serialState != parallelState {
+				t.Error("final network state diverges between Probes=1 and Probes=8")
+			}
+			if serialDec == "" {
+				t.Fatal("no decisions recorded")
+			}
+		})
+	}
+}
+
+// TestParallelProbingCacheHitRate: the acceptance bar — at 60% utilization
+// the epoch cache must answer at least half of all scheduler probes across
+// an end-to-end run. A k=8 fabric with moderate event sizes keeps most
+// estimates provably stable between rounds (on a 16-host k=4 fabric the
+// events genuinely contend, so estimates — and hence misses — change for
+// real; that regime is covered by TestProbesKnobIsScheduleInvariant).
+func TestParallelProbingCacheHitRate(t *testing.T) {
+	ft, err := topology.NewFatTree(8, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(41))
+	gen, err := trace.NewGenerator(17, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.FillBackground(net, gen, 0.6, 0); err != nil {
+		t.Fatal(err)
+	}
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+	events := gen.Events(30, 2, 6)
+	eng := NewEngine(planner, sched.NewLMTF(9, 7), Config{Probes: 8})
+	col, err := eng.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.ProbeCacheHits+col.ProbeCacheMisses == 0 {
+		t.Fatal("no probes recorded")
+	}
+	if rate := col.ProbeHitRate(); rate < 0.5 {
+		t.Errorf("probe cache hit rate = %.2f (%d/%d), want >= 0.5",
+			rate, col.ProbeCacheHits, col.ProbeCacheHits+col.ProbeCacheMisses)
+	}
+	if col.ProbeForks == 0 || col.ProbeForks > 8 {
+		t.Errorf("forks = %d, want 1..8", col.ProbeForks)
+	}
+	if col.ProbeWallTime <= 0 {
+		t.Error("probe wall time not recorded")
+	}
+}

@@ -1,0 +1,100 @@
+package topology
+
+import "testing"
+
+// forkGraph builds a 3-node line x->y->z with two links.
+func forkGraph(t *testing.T) (*Graph, LinkID, LinkID) {
+	t.Helper()
+	g := NewGraph()
+	x := g.AddNode(KindEdgeSwitch, "x")
+	y := g.AddNode(KindEdgeSwitch, "y")
+	z := g.AddNode(KindEdgeSwitch, "z")
+	l1, err := g.AddLink(x, y, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := g.AddLink(y, z, Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, l1, l2
+}
+
+func TestLinkVersionsFollowGlobalEpoch(t *testing.T) {
+	g, l1, l2 := forkGraph(t)
+	if g.Epoch() != 0 || g.Link(l1).Version() != 0 || g.Link(l2).Version() != 0 {
+		t.Fatal("fresh graph must start at epoch 0 with unversioned links")
+	}
+	if err := g.Reserve(l1, Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Link(l1).Version(); got != 1 {
+		t.Errorf("l1 version after first reserve = %d, want 1", got)
+	}
+	if err := g.Release(l1, Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Link(l1).Version(); got != 2 {
+		t.Errorf("l1 version after release = %d, want 2 (releases bump too)", got)
+	}
+	if err := g.Reserve(l2, Mbps); err != nil {
+		t.Fatal(err)
+	}
+	// Versions are minted from one global counter: l2's single touch must
+	// outrank both of l1's, making max-over-a-set a sound change detector.
+	if g.Link(l2).Version() != 3 || g.Epoch() != 3 {
+		t.Errorf("l2 version = %d, epoch = %d, want 3, 3", g.Link(l2).Version(), g.Epoch())
+	}
+	if got := g.MaxVersion([]LinkID{l1, l2}); got != 3 {
+		t.Errorf("MaxVersion(l1,l2) = %d, want 3", got)
+	}
+	if got := g.MaxVersion([]LinkID{l1}); got != 2 {
+		t.Errorf("MaxVersion(l1) = %d, want 2", got)
+	}
+	if got := g.MaxVersion(nil); got != 0 {
+		t.Errorf("MaxVersion(nil) = %d, want 0", got)
+	}
+	// Failed reservations must not mint versions: the state did not change.
+	if err := g.Reserve(l1, 2*Gbps); err == nil {
+		t.Fatal("overcommit reserve unexpectedly succeeded")
+	}
+	if g.Epoch() != 3 {
+		t.Errorf("epoch after failed reserve = %d, want 3", g.Epoch())
+	}
+}
+
+func TestGraphForkIsolatesReservations(t *testing.T) {
+	g, l1, l2 := forkGraph(t)
+	if err := g.Reserve(l1, 100*Mbps); err != nil {
+		t.Fatal(err)
+	}
+	f := g.Fork()
+	if f.Epoch() != g.Epoch() || f.Link(l1).Reserved() != 100*Mbps {
+		t.Fatal("fork must start as an exact copy of the live ledger")
+	}
+	// Writes to the fork must not leak into the live graph, and vice versa.
+	if err := f.Reserve(l2, 300*Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Link(l2).Reserved(); got != 0 {
+		t.Errorf("live l2 reserved = %v after fork write, want 0", got)
+	}
+	if g.Epoch() != 1 {
+		t.Errorf("live epoch = %d after fork write, want 1", g.Epoch())
+	}
+	if err := g.Reserve(l1, 50*Mbps); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Link(l1).Reserved(); got != 100*Mbps {
+		t.Errorf("fork l1 reserved = %v after live write, want 100Mbps", got)
+	}
+	// SyncFrom realigns the fork with the live ledger wholesale.
+	f.SyncFrom(g)
+	if f.Epoch() != g.Epoch() {
+		t.Errorf("fork epoch after sync = %d, want %d", f.Epoch(), g.Epoch())
+	}
+	if f.Link(l1).Reserved() != 150*Mbps || f.Link(l2).Reserved() != 0 {
+		t.Errorf("fork ledger after sync = (%v, %v), want (150Mbps, 0)",
+			f.Link(l1).Reserved(), f.Link(l2).Reserved())
+	}
+}

@@ -21,6 +21,11 @@ type Graph struct {
 	// byPair maps an ordered (from,to) pair to its link, enforcing simple
 	// directed edges (at most one link per ordered pair).
 	byPair map[[2]NodeID]LinkID
+	// epoch counts reservation-state changes across the whole graph. Each
+	// Reserve/Release increments it and stamps the new value onto the
+	// touched link's version, so link versions are globally unique and
+	// monotonically increasing.
+	epoch uint64
 }
 
 // NewGraph returns an empty graph.
@@ -140,6 +145,8 @@ func (g *Graph) Reserve(id LinkID, bw Bandwidth) error {
 			bw, l, l.Residual(), ErrInsufficientBandwidth)
 	}
 	l.reserved += bw
+	g.epoch++
+	l.version = g.epoch
 	return nil
 }
 
@@ -156,6 +163,8 @@ func (g *Graph) Release(id LinkID, bw Bandwidth) error {
 			bw, l, l.reserved, ErrOverRelease)
 	}
 	l.reserved -= bw
+	g.epoch++
+	l.version = g.epoch
 	return nil
 }
 
@@ -190,6 +199,59 @@ func (g *Graph) SwitchUtilization() float64 {
 		return 0
 	}
 	return float64(used) / float64(total)
+}
+
+// Epoch returns the graph-wide reservation-change counter. It increases
+// by exactly one on every successful Reserve or Release, so an unchanged
+// epoch guarantees unchanged residual bandwidth on every link.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// MaxVersion returns the largest link version across the given links.
+// Because versions are minted from the single graph epoch, the max over a
+// fixed set increases iff some link of the set changed — the validity
+// check of probe-cost caches.
+func (g *Graph) MaxVersion(links []LinkID) uint64 {
+	var max uint64
+	for _, id := range links {
+		if v := g.links[id].version; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Fork returns a scratch copy of the graph for trial planning: the
+// mutable per-link reservation state is copied, while the immutable
+// topology (nodes, adjacency, pair index) is shared with the parent.
+// Reserve/Release on the fork never touch the parent.
+//
+// Forks are probe-only: growing a fork's topology (AddNode/AddLink) is
+// not supported, because the shared adjacency slices would alias the
+// parent's.
+func (g *Graph) Fork() *Graph {
+	links := make([]Link, len(g.links))
+	copy(links, g.links)
+	return &Graph{
+		nodes:  g.nodes,
+		links:  links,
+		out:    g.out,
+		in:     g.in,
+		byPair: g.byPair,
+		epoch:  g.epoch,
+	}
+}
+
+// SyncFrom resets a fork's reservation state (and epoch) to match src,
+// reusing the fork's link storage. Both graphs must describe the same
+// topology (same link count); it panics otherwise, since that indicates
+// the fork and its parent diverged structurally.
+func (g *Graph) SyncFrom(src *Graph) {
+	if len(g.links) != len(src.links) {
+		panic(fmt.Sprintf("topology: SyncFrom across different topologies (%d vs %d links)",
+			len(g.links), len(src.links)))
+	}
+	copy(g.links, src.links)
+	g.epoch = src.epoch
 }
 
 // validNode reports whether id is in range.

@@ -48,10 +48,20 @@ type Link struct {
 	// It is manipulated exclusively through Graph.Reserve / Graph.Release
 	// so that all mutation funnels through invariant checks.
 	reserved Bandwidth
+	// version is the graph epoch at which the link's reservation state
+	// last changed. Epochs are minted by a single graph-wide counter, so
+	// versions are globally unique and strictly increasing: the max
+	// version over any link set changes iff some link in the set changed.
+	// Probe-cost caches rely on this to validate cached estimates.
+	version uint64
 }
 
 // Reserved returns the bandwidth currently reserved on the link.
 func (l *Link) Reserved() Bandwidth { return l.reserved }
+
+// Version returns the graph epoch of the link's last reservation change
+// (zero if it was never touched).
+func (l *Link) Version() uint64 { return l.version }
 
 // Residual returns the bandwidth still available on the link.
 func (l *Link) Residual() Bandwidth { return l.Capacity - l.reserved }

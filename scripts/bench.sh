@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the headline micro-benchmarks and records the results as
+# BENCH_<date>.json in the repo root, so perf changes can be compared
+# across commits.
+#
+#   BENCH='BenchmarkDecision' BENCHTIME=5s scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkDecision|BenchmarkProbeEvent|BenchmarkNetworkFork|BenchmarkAdmitFlow}"
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="BENCH_$(date +%Y%m%d).json"
+
+raw=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" .)
+printf '%s\n' "$raw"
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+  printf '  "benchmarks": [\n'
+  printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      if (sep) printf "%s\n", sep
+      line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, $2, $3)
+      if (NF >= 8) line = line sprintf(", \"bytes_per_op\": %s, \"allocs_per_op\": %s", $5, $7)
+      printf "%s}", line
+      sep = ","
+    }
+    END { printf "\n" }'
+  printf '  ]\n'
+  printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
