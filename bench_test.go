@@ -7,12 +7,14 @@
 package netupdate_test
 
 import (
+	"io"
 	"testing"
 
 	"netupdate/internal/core"
 	"netupdate/internal/experiments"
 	"netupdate/internal/migration"
 	"netupdate/internal/netstate"
+	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
@@ -232,6 +234,43 @@ func BenchmarkEndToEnd(b *testing.B) {
 				planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
 				events := gen.Events(10, 10, 40)
 				engine := sim.NewEngine(planner, tc.mk(), sim.Config{})
+				b.StartTimer()
+				if _, err := engine.Run(events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead measures what observability costs a whole
+// simulation: the same P-LMTF run untraced (the nil fast path the <5%
+// decision-bench criterion guards), with the in-memory ring sink
+// (cmd/updated's always-on configuration) and with a JSONL sink
+// (netupdate -trace-out). scripts/bench.sh records the off-vs-ring
+// delta in BENCH_<date>.json.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func() *obs.Tracer
+	}{
+		{"off", func() *obs.Tracer { return nil }},
+		{"ring", func() *obs.Tracer {
+			return obs.NewTracer(obs.NewRingSink(4096), obs.NewSimMetrics(obs.NewRegistry()))
+		}},
+		{"jsonl", func() *obs.Tracer {
+			return obs.NewTracer(obs.NewJSONLSink(io.Discard), obs.NewSimMetrics(obs.NewRegistry()))
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net, _, gen := benchEnv(b, 0.6)
+				planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+				events := gen.Events(10, 10, 40)
+				engine := sim.NewEngine(planner, sched.NewPLMTF(4, 1), sim.Config{})
+				engine.SetTracer(tc.mk())
 				b.StartTimer()
 				if _, err := engine.Run(events); err != nil {
 					b.Fatal(err)

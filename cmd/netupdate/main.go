@@ -4,7 +4,14 @@
 //
 //	netupdate -list
 //	netupdate -experiment fig6 [-seed 1] [-quick] [-csv dir] [-seeds n] [-probes n]
+//	          [-trace-out trace.jsonl]
 //	netupdate -all [-seed 1] [-quick] [-csv dir] [-probes n]
+//
+// With -trace-out, every event-level simulation run writes its
+// scheduling trace (arrivals, per-round decisions, event lifecycle
+// spans; see internal/obs) as JSON Lines to the given file. Runs are
+// delimited by their leading "run" records. Traces are deterministic:
+// the same seed and flags reproduce the file byte for byte.
 //
 // With -seeds n > 1, the experiment runs n times under seeds
 // seed..seed+n-1 and a mean/min/max summary of every headline metric is
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"netupdate/internal/experiments"
+	"netupdate/internal/obs"
 )
 
 func main() {
@@ -39,17 +47,37 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("netupdate", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list available experiments")
-		name   = fs.String("experiment", "", "experiment to run (see -list)")
-		all    = fs.Bool("all", false, "run every experiment")
-		seed   = fs.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
-		quick  = fs.Bool("quick", false, "shrink experiments for a fast smoke run")
-		csv    = fs.String("csv", "", "also write each table as CSV into this directory")
-		seeds  = fs.Int("seeds", 1, "repeat the experiment under this many consecutive seeds and summarize headlines")
-		probes = fs.Int("probes", 0, "scheduler probe concurrency: 0 = GOMAXPROCS, 1 = serial (results identical; only planning wall-time changes)")
+		list     = fs.Bool("list", false, "list available experiments")
+		name     = fs.String("experiment", "", "experiment to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment")
+		seed     = fs.Int64("seed", 1, "random seed (equal seeds reproduce runs exactly)")
+		quick    = fs.Bool("quick", false, "shrink experiments for a fast smoke run")
+		csv      = fs.String("csv", "", "also write each table as CSV into this directory")
+		seeds    = fs.Int("seeds", 1, "repeat the experiment under this many consecutive seeds and summarize headlines")
+		probes   = fs.Int("probes", 0, "scheduler probe concurrency: 0 = GOMAXPROCS, 1 = serial (results identical; only planning wall-time changes)")
+		traceOut = fs.String("trace-out", "", "write scheduling traces of all simulated runs to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netupdate: trace-out: %v\n", err)
+			return 1
+		}
+		sink := obs.NewJSONLSink(f)
+		tracer = obs.NewTracer(sink, nil)
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "netupdate: trace-out: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "netupdate: trace-out: %v\n", err)
+			}
+		}()
 	}
 
 	switch {
@@ -60,7 +88,7 @@ func run(args []string) int {
 		return 0
 	case *all:
 		for _, e := range experiments.All() {
-			if err := runOne(e, *seed, *quick, *probes, *csv); err != nil {
+			if err := runOne(e, *seed, *quick, *probes, *csv, tracer); err != nil {
 				fmt.Fprintf(os.Stderr, "netupdate: %s: %v\n", e.Name, err)
 				return 1
 			}
@@ -73,13 +101,13 @@ func run(args []string) int {
 			return 2
 		}
 		if *seeds > 1 {
-			if err := runSeeds(e, *seed, *seeds, *quick, *probes); err != nil {
+			if err := runSeeds(e, *seed, *seeds, *quick, *probes, tracer); err != nil {
 				fmt.Fprintf(os.Stderr, "netupdate: %s: %v\n", e.Name, err)
 				return 1
 			}
 			return 0
 		}
-		if err := runOne(e, *seed, *quick, *probes, *csv); err != nil {
+		if err := runOne(e, *seed, *quick, *probes, *csv, tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "netupdate: %s: %v\n", e.Name, err)
 			return 1
 		}
@@ -90,9 +118,9 @@ func run(args []string) int {
 	}
 }
 
-func runOne(e experiments.Experiment, seed int64, quick bool, probes int, csvDir string) error {
+func runOne(e experiments.Experiment, seed int64, quick bool, probes int, csvDir string, tracer *obs.Tracer) error {
 	start := time.Now()
-	rep, err := e.Run(experiments.Options{Seed: seed, Quick: quick, Probes: probes})
+	rep, err := e.Run(experiments.Options{Seed: seed, Quick: quick, Probes: probes, Trace: tracer})
 	if err != nil {
 		return err
 	}
@@ -110,14 +138,14 @@ func runOne(e experiments.Experiment, seed int64, quick bool, probes int, csvDir
 
 // runSeeds repeats the experiment under n consecutive seeds and prints a
 // mean/min/max summary of every headline metric.
-func runSeeds(e experiments.Experiment, seed int64, n int, quick bool, probes int) error {
+func runSeeds(e experiments.Experiment, seed int64, n int, quick bool, probes int, tracer *obs.Tracer) error {
 	sums := make(map[string]float64)
 	mins := make(map[string]float64)
 	maxs := make(map[string]float64)
 	counts := make(map[string]int)
 	var order []string
 	for i := 0; i < n; i++ {
-		rep, err := e.Run(experiments.Options{Seed: seed + int64(i), Quick: quick, Probes: probes})
+		rep, err := e.Run(experiments.Options{Seed: seed + int64(i), Quick: quick, Probes: probes, Trace: tracer})
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed+int64(i), err)
 		}

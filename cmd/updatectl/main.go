@@ -9,6 +9,7 @@
 //	updatectl -addr host:7421 status <event-id>
 //	updatectl -addr host:7421 results
 //	updatectl -addr host:7421 snapshot > state.json
+//	updatectl -addr host:7421 trace [n] > trace.jsonl
 //
 // submit reads JSON Lines (one event per line, the cmd/tracegen format),
 // submits every event, waits for completion, and prints per-event metrics.
@@ -42,7 +43,7 @@ func run(args []string, stdout io.Writer) int {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results")
+		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace")
 		return 2
 	}
 
@@ -83,6 +84,33 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(stdout, "avg delay      %v\n", stats.AvgQueuingDelay)
 		fmt.Fprintf(stdout, "plan time      %v\n", stats.PlanTime)
 		fmt.Fprintf(stdout, "virtual clock  %v\n", stats.VirtualClock)
+		fmt.Fprintf(stdout, "rounds         %d\n", stats.Rounds)
+		fmt.Fprintf(stdout, "probe cache    %d hits / %d misses (%.2f hit rate)\n",
+			stats.ProbeCacheHits, stats.ProbeCacheMisses, stats.ProbeHitRate)
+		return 0
+
+	case "trace":
+		n := 0 // all retained records
+		if len(rest) >= 2 {
+			v, err := strconv.Atoi(rest[1])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "updatectl: bad record count %q\n", rest[1])
+				return 2
+			}
+			n = v
+		}
+		records, err := client.Trace(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		enc := json.NewEncoder(stdout)
+		for i := range records {
+			if err := enc.Encode(&records[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+				return 1
+			}
+		}
 		return 0
 
 	case "status":

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	updated [-addr :7421] [-k 8] [-util 0.6] [-scheduler p-lmtf]
-//	        [-alpha 4] [-seed 1]
+//	        [-alpha 4] [-seed 1] [-telemetry-addr :9090]
+//
+// With -telemetry-addr set, the daemon also serves live telemetry over
+// HTTP: Prometheus metrics on /metrics, expvar on /debug/vars, and
+// net/http/pprof on /debug/pprof/.
 //
 // Submit work with cmd/updatectl or any client speaking line-delimited
 // JSON (see internal/ctl).
@@ -16,6 +20,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	netpkg "net" // aliased: the local network state below is named net
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +30,7 @@ import (
 	"netupdate/internal/ctl"
 	"netupdate/internal/migration"
 	"netupdate/internal/netstate"
+	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/rules"
 	"netupdate/internal/sched"
@@ -46,6 +53,7 @@ func run(args []string) int {
 		alpha     = fs.Int("alpha", 4, "LMTF/P-LMTF sample size")
 		seed      = fs.Int64("seed", 1, "random seed")
 		tables    = fs.Int("tables", -1, "attach per-switch rule tables with this capacity (0 = unlimited, -1 = off)")
+		telemetry = fs.String("telemetry-addr", "", "HTTP telemetry address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +103,29 @@ func run(args []string) int {
 
 	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
 	srv := ctl.NewServer(planner, scheduler, sim.Config{})
+
+	var telemetrySrv *http.Server
+	if *telemetry != "" {
+		// Bind synchronously so a bad address fails at startup, not in a
+		// goroutine after the daemon already reported itself healthy.
+		l, err := netpkg.Listen("tcp", *telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: telemetry: %v\n", err)
+			return 1
+		}
+		telemetrySrv = &http.Server{Handler: obs.Handler(srv.Registry())}
+		go func() {
+			if err := telemetrySrv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "updated: telemetry: %v\n", err)
+			}
+		}()
+		fmt.Printf("updated: telemetry on http://%s/metrics\n", l.Addr())
+		defer func() {
+			if err := telemetrySrv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "updated: telemetry close: %v\n", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

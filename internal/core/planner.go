@@ -66,6 +66,12 @@ type Estimate struct {
 	// migration planner. While none of them change, re-probing the same
 	// event is guaranteed to reproduce this estimate.
 	Touched []topology.LinkID
+	// FromCache reports that a ProbeEngine answered this estimate from
+	// its epoch cache instead of replanning. Purely observational: a hit
+	// carries the same Cost/Feasible/Admittable/Evals a fresh probe
+	// would, and whether an estimate is a hit is itself deterministic
+	// (the cache is checked serially regardless of probe concurrency).
+	FromCache bool
 }
 
 // Planner plans and executes update events against a network, one flow at

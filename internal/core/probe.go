@@ -173,6 +173,7 @@ func (pe *ProbeEngine) ProbeAll(evs []*Event) ([]*Estimate, error) {
 				Feasible:   entry.est.Feasible,
 				Admittable: entry.est.Admittable,
 				Evals:      entry.est.Evals,
+				FromCache:  true,
 			}
 			pe.stats.Hits++
 			continue

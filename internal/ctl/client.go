@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"netupdate/internal/obs"
 	"netupdate/internal/snapshot"
 )
 
@@ -105,6 +106,16 @@ func (c *Client) Stats() (Stats, error) {
 		return Stats{}, fmt.Errorf("ctl: stats: empty response")
 	}
 	return *resp.Stats, nil
+}
+
+// Trace fetches the most recent n scheduling-trace records (oldest
+// first); n <= 0 fetches everything the server's ring retains.
+func (c *Client) Trace(n int) ([]obs.Record, error) {
+	resp, err := c.roundTrip(Request{Op: OpTrace, N: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Trace, nil
 }
 
 // Snapshot fetches the controller's full network state.

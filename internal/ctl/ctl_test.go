@@ -12,6 +12,7 @@ import (
 	"netupdate/internal/core"
 	"netupdate/internal/migration"
 	"netupdate/internal/netstate"
+	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
@@ -369,5 +370,60 @@ func TestSnapshotOp(t *testing.T) {
 	}
 	if restored.Utilization() <= 0 {
 		t.Error("restored network empty")
+	}
+}
+
+func TestTraceOp(t *testing.T) {
+	client, ft := startServer(t, sched.NewPLMTF(2, 1))
+	const n = 4
+	for i := 0; i < n; i++ {
+		id, err := client.Submit(eventSpec(ft, 3, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.WaitDone(id, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, err := client.Trace(0)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	var arrivals, spans, rounds int
+	for _, r := range records {
+		switch r.Kind {
+		case obs.KindArrival:
+			arrivals++
+		case obs.KindSpan:
+			spans++
+		case obs.KindRound:
+			rounds++
+		}
+	}
+	if arrivals != n || spans != n || rounds == 0 {
+		t.Errorf("trace arrivals/spans/rounds = %d/%d/%d, want %d/%d/>0",
+			arrivals, spans, rounds, n, n)
+	}
+	// A bounded fetch returns exactly the trailing records.
+	last2, err := client.Trace(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last2) != 2 {
+		t.Fatalf("Trace(2) returned %d records", len(last2))
+	}
+	if want := records[len(records)-1]; last2[1].Kind != want.Kind || last2[1].VT != want.VT {
+		t.Errorf("Trace(2) tail = %+v, want %+v", last2[1], want)
+	}
+	// Stats must surface probe telemetry after scheduling activity.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 {
+		t.Error("stats rounds = 0 after scheduling")
+	}
+	if stats.ProbeCacheHits+stats.ProbeCacheMisses == 0 {
+		t.Error("stats show no probes after scheduling")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"netupdate/internal/obs"
 	"netupdate/internal/snapshot"
 )
 
@@ -35,6 +36,9 @@ const (
 	// OpSnapshot returns the controller's full network state as a
 	// snapshot document (topology, flows, placements).
 	OpSnapshot Op = "snapshot"
+	// OpTrace returns the most recent scheduling-trace records from the
+	// server's ring buffer (arrivals, per-round decisions, event spans).
+	OpTrace Op = "trace"
 )
 
 // FlowSpec is one flow of a submitted event. Host indices refer to the
@@ -59,6 +63,9 @@ type Request struct {
 	Event *EventSpec `json:"event,omitempty"`
 	// EventID accompanies OpStatus.
 	EventID int64 `json:"event_id,omitempty"`
+	// N accompanies OpTrace: how many trailing records to return
+	// (<= 0 means all retained).
+	N int `json:"n,omitempty"`
 }
 
 // EventState is an event's lifecycle stage.
@@ -98,6 +105,13 @@ type Stats struct {
 	AvgQueuingDelay time.Duration `json:"avg_queuing_delay_ns"`
 	PlanTime        time.Duration `json:"plan_time_ns"`
 	VirtualClock    time.Duration `json:"virtual_clock_ns"`
+	// Probe-cache telemetry (Section IV-B probing cost): hits answered
+	// from the engine's epoch cache vs full replans, and the hit rate.
+	ProbeCacheHits   int64   `json:"probe_cache_hits"`
+	ProbeCacheMisses int64   `json:"probe_cache_misses"`
+	ProbeHitRate     float64 `json:"probe_hit_rate"`
+	// Rounds is the number of scheduling rounds executed so far.
+	Rounds int64 `json:"rounds"`
 }
 
 // Response is one server->client message.
@@ -114,6 +128,8 @@ type Response struct {
 	Stats *Stats `json:"stats,omitempty"`
 	// Snapshot answers OpSnapshot.
 	Snapshot *snapshot.Snapshot `json:"snapshot,omitempty"`
+	// Trace answers OpTrace (oldest record first).
+	Trace []obs.Record `json:"trace,omitempty"`
 }
 
 // Protocol-level errors.

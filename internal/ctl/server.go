@@ -8,6 +8,7 @@ import (
 
 	"netupdate/internal/core"
 	"netupdate/internal/flow"
+	"netupdate/internal/obs"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
 	"netupdate/internal/snapshot"
@@ -23,6 +24,12 @@ type Server struct {
 	planner   *core.Planner
 	scheduler string
 	numNodes  int
+
+	// Telemetry: every server carries a ring-buffered tracer (OpTrace
+	// reads it in the state loop) and a metrics registry whose values are
+	// atomics, safe to scrape over HTTP while the state loop runs.
+	registry *obs.Registry
+	ring     *obs.RingSink
 
 	cmds    chan command
 	closing chan struct{}
@@ -41,6 +48,10 @@ type command struct {
 	reply chan Response
 }
 
+// traceRingSize bounds the server's trace ring: enough for a few
+// thousand rounds of history without unbounded growth.
+const traceRingSize = 4096
+
 // NewServer wraps a planner (owning a prepared network) and a scheduler.
 // cfg is the virtual timing model used to compute per-event metrics.
 func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config) *Server {
@@ -49,14 +60,24 @@ func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config)
 		planner:   planner,
 		scheduler: scheduler.Name(),
 		numNodes:  planner.Network().Graph().NumNodes(),
+		registry:  obs.NewRegistry(),
+		ring:      obs.NewRingSink(traceRingSize),
 		cmds:      make(chan command),
 		closing:   make(chan struct{}),
 		open:      make(map[net.Conn]struct{}),
 	}
+	// Attach the tracer before the state loop starts so the engine never
+	// sees a concurrent SetTracer.
+	s.engine.SetTracer(obs.NewTracer(s.ring, obs.NewSimMetrics(s.registry)))
 	s.loop.Add(1)
 	go s.stateLoop()
 	return s
 }
+
+// Registry exposes the server's metric registry, e.g. for mounting
+// obs.Handler on an HTTP listener. All registered values are atomics, so
+// scraping is safe while the server runs.
+func (s *Server) Registry() *obs.Registry { return s.registry }
 
 // Serve accepts connections on l until Close. It returns ErrServerClosed
 // after a clean shutdown.
@@ -260,19 +281,27 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 	case OpStats:
 		col := s.engine.Collector()
 		net := s.planner.Network()
+		met := s.engine.Tracer().Metrics()
 		return Response{OK: true, Stats: &Stats{
-			Scheduler:       s.scheduler,
-			Utilization:     net.Utilization(),
-			FlowsPlaced:     len(net.Registry().Placed()),
-			EventsQueued:    s.engine.QueueLen(),
-			EventsDone:      col.Len(),
-			TotalCostBps:    int64(col.TotalCost()),
-			AvgECT:          col.AvgECT(),
-			TailECT:         col.TailECT(),
-			AvgQueuingDelay: col.AvgQueuingDelay(),
-			PlanTime:        col.PlanTime,
-			VirtualClock:    s.engine.Clock(),
+			Scheduler:        s.scheduler,
+			Utilization:      net.Utilization(),
+			FlowsPlaced:      len(net.Registry().Placed()),
+			EventsQueued:     s.engine.QueueLen(),
+			EventsDone:       col.Len(),
+			TotalCostBps:     int64(col.TotalCost()),
+			AvgECT:           col.AvgECT(),
+			TailECT:          col.TailECT(),
+			AvgQueuingDelay:  col.AvgQueuingDelay(),
+			PlanTime:         col.PlanTime,
+			VirtualClock:     s.engine.Clock(),
+			ProbeCacheHits:   met.ProbeHits.Value(),
+			ProbeCacheMisses: met.ProbeMisses.Value(),
+			ProbeHitRate:     met.ProbeHitRate.Value(),
+			Rounds:           met.Rounds.Value(),
 		}}
+
+	case OpTrace:
+		return Response{OK: true, Trace: s.ring.Last(req.N)}
 
 	default:
 		return Response{OK: false, Error: fmt.Sprintf("%v: unknown op %q", ErrBadRequest, req.Op)}

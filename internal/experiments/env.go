@@ -15,6 +15,7 @@ import (
 	"netupdate/internal/metrics"
 	"netupdate/internal/migration"
 	"netupdate/internal/netstate"
+	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
@@ -33,12 +34,17 @@ type Options struct {
 	// 0 = GOMAXPROCS, 1 = serial. Results are identical at every setting;
 	// only real planning wall-time changes.
 	Probes int
+	// Trace, when non-nil, receives lifecycle and round records from
+	// every simulated scheduler run. Runs within an experiment share the
+	// tracer; each run's leading "run" record delimits its stream.
+	Trace *obs.Tracer
 }
 
-// apply threads run-wide knobs (currently the probe concurrency) into a
+// apply threads run-wide knobs (probe concurrency, tracer) into a
 // figure's Setup; call it on every Setup that feeds a simulation.
 func (o Options) apply(s Setup) Setup {
 	s.Config.Probes = o.Probes
+	s.Tracer = o.Trace
 	return s
 }
 
@@ -65,6 +71,9 @@ type Setup struct {
 	// of settling for whatever the filler achieved (the default, because
 	// very high targets saturate host access links first).
 	StrictFill bool
+	// Tracer, when non-nil, observes every event-level simulation run
+	// built from this setup (set via Options.apply).
+	Tracer *obs.Tracer
 }
 
 // Env is a ready-to-simulate environment.
@@ -134,6 +143,9 @@ func runScheduler(setup Setup, mkSched func() sched.Scheduler, nEvents, minFlows
 	}
 	events := env.Gen.Events(nEvents, minFlows, maxFlows)
 	eng := sim.NewEngine(env.Planner, mkSched(), setup.Config)
+	if setup.Tracer != nil {
+		eng.SetTracer(setup.Tracer)
+	}
 	if setup.Churn != nil {
 		eng.EnableChurn(env.Gen, *setup.Churn)
 	}
@@ -144,7 +156,9 @@ func runScheduler(setup Setup, mkSched func() sched.Scheduler, nEvents, minFlows
 	return col, nil
 }
 
-// runFlowLevel is runScheduler for the flow-level baseline.
+// runFlowLevel is runScheduler for the flow-level baseline. The
+// flow-level simulator has no rounds or event queue, so it stays
+// untraced — Setup.Tracer only observes event-level runs.
 func runFlowLevel(setup Setup, nEvents, minFlows, maxFlows int) (*metrics.Collector, error) {
 	env, err := NewEnv(setup)
 	if err != nil {

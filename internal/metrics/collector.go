@@ -116,8 +116,9 @@ func (c *Collector) TailECT() time.Duration {
 	return maxDuration(c.ects())
 }
 
-// PercentileECT returns the p-th percentile (0 < p <= 100) of ECTs using
-// nearest-rank on the sorted sample.
+// PercentileECT returns the p-th percentile of ECTs using nearest-rank
+// on the sorted sample. p is meaningful on (0, 100]; p <= 0 returns 0
+// (an empty prefix has no value) and p > 100 clamps to the maximum.
 func (c *Collector) PercentileECT(p float64) time.Duration {
 	return percentile(c.ects(), p)
 }
@@ -132,9 +133,10 @@ func (c *Collector) WorstQueuingDelay() time.Duration {
 	return maxDuration(c.delays())
 }
 
-// QueuingDelays returns each event's queuing delay indexed by arrival
-// order (Fig. 9 plots these per event).
-func (c *Collector) QueuingDelays() []time.Duration {
+// SortedByArrival returns a copy of all records sorted by arrival time
+// (ties broken by event ID). Callers that need arrival-ordered views
+// share this one sort instead of re-sorting per metric.
+func (c *Collector) SortedByArrival() []EventRecord {
 	byArrival := c.Records()
 	sort.SliceStable(byArrival, func(i, j int) bool {
 		if byArrival[i].Arrival != byArrival[j].Arrival {
@@ -142,6 +144,13 @@ func (c *Collector) QueuingDelays() []time.Duration {
 		}
 		return byArrival[i].Event < byArrival[j].Event
 	})
+	return byArrival
+}
+
+// QueuingDelays returns each event's queuing delay indexed by arrival
+// order (Fig. 9 plots these per event).
+func (c *Collector) QueuingDelays() []time.Duration {
+	byArrival := c.SortedByArrival()
 	out := make([]time.Duration, len(byArrival))
 	for i, r := range byArrival {
 		out[i] = r.QueuingDelay()
@@ -195,12 +204,13 @@ func maxDuration(ds []time.Duration) time.Duration {
 	return max
 }
 
+// percentile is the nearest-rank percentile of ds. The contract: an
+// empty sample or p <= 0 yields 0 (a non-positive percentile selects an
+// empty prefix, so there is no sample value to report — not the minimum,
+// which p just above 0 would give); p > 100 clamps to the maximum.
 func percentile(ds []time.Duration, p float64) time.Duration {
-	if len(ds) == 0 {
+	if len(ds) == 0 || p <= 0 {
 		return 0
-	}
-	if p <= 0 {
-		p = 1
 	}
 	if p > 100 {
 		p = 100

@@ -85,13 +85,59 @@ func TestPercentileECT(t *testing.T) {
 		{100, 9 * time.Second},
 		{50, 4 * time.Second},
 		{1, 2 * time.Second},
-		{-5, 2 * time.Second},  // clamped up
+		{0, 0},                 // empty prefix: no sample value
+		{-5, 0},                // same for any non-positive p
 		{150, 9 * time.Second}, // clamped down
 	}
 	for _, tt := range tests {
 		if got := c.PercentileECT(tt.p); got != tt.want {
 			t.Errorf("PercentileECT(%v) = %v, want %v", tt.p, got, tt.want)
 		}
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	c := NewCollector()
+	c.Add(EventRecord{Event: 1, Arrival: 0, Start: time.Second, Completion: 3 * time.Second})
+	for _, p := range []float64{1, 50, 100, 150} {
+		if got, want := c.PercentileECT(p), 3*time.Second; got != want {
+			t.Errorf("PercentileECT(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if got := c.PercentileECT(0); got != 0 {
+		t.Errorf("PercentileECT(0) = %v, want 0", got)
+	}
+}
+
+func TestProbeHitRate(t *testing.T) {
+	c := NewCollector()
+	if got := c.ProbeHitRate(); got != 0 {
+		t.Errorf("ProbeHitRate with no probes = %v, want 0", got)
+	}
+	c.ProbeCacheHits, c.ProbeCacheMisses = 3, 1
+	if got := c.ProbeHitRate(); got != 0.75 {
+		t.Errorf("ProbeHitRate = %v, want 0.75", got)
+	}
+}
+
+func TestSortedByArrival(t *testing.T) {
+	c := NewCollector()
+	// Completion order 3, 1, 2; arrival order 1, 2, 3 (2 and 3 tie on
+	// arrival time and must fall back to event-ID order).
+	c.Add(EventRecord{Event: 3, Arrival: 2 * time.Second, Start: 9 * time.Second, Completion: 10 * time.Second})
+	c.Add(EventRecord{Event: 1, Arrival: 1 * time.Second, Start: 3 * time.Second, Completion: 4 * time.Second})
+	c.Add(EventRecord{Event: 2, Arrival: 2 * time.Second, Start: 5 * time.Second, Completion: 6 * time.Second})
+	got := c.SortedByArrival()
+	for i, want := range []flow.EventID{1, 2, 3} {
+		if got[i].Event != want {
+			t.Errorf("SortedByArrival[%d] = event %d, want %d", i, got[i].Event, want)
+		}
+	}
+	// The returned slice is a copy: mutating it must not affect the
+	// collector's completion-order records.
+	got[0].Cost = 999
+	if c.Records()[0].Cost == 999 {
+		t.Error("mutating SortedByArrival() copy changed collector state")
 	}
 }
 

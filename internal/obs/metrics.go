@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metric is anything a Registry can expose: it renders itself in
+// Prometheus text format and as a plain value for expvar.
+type metric interface {
+	metricName() string
+	writeProm(w io.Writer)
+	snapshot() any
+}
+
+// Registry holds named metrics and renders them for scraping. All value
+// updates are lock-free atomics; the registry lock only guards the metric
+// list itself (registration vs. scrape).
+type Registry struct {
+	mu sync.Mutex
+	ms []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.ms {
+		if existing.metricName() == m.metricName() {
+			panic(fmt.Sprintf("obs: duplicate metric %q", m.metricName()))
+		}
+	}
+	r.ms = append(r.ms, m)
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (metrics sorted by name).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.ms))
+	copy(ms, r.ms)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
+	for _, m := range ms {
+		m.writeProm(w)
+	}
+}
+
+// Snapshot returns a name → value map of every metric (histograms and
+// distributions snapshot to nested maps), for expvar publication.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	ms := make([]metric, len(r.ms))
+	copy(ms, r.ms)
+	r.mu.Unlock()
+	out := make(map[string]any, len(ms))
+	for _, m := range ms {
+		out[m.metricName()] = m.snapshot()
+	}
+	return out
+}
+
+// Counter is a monotonically increasing integer metric, safe for
+// concurrent use.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) snapshot() any      { return c.Value() }
+func (c *Counter) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+}
+
+// Gauge is a settable instantaneous integer value, safe for concurrent
+// use.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) snapshot() any      { return g.Value() }
+func (g *Gauge) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+}
+
+// FloatGauge is a settable instantaneous float64 value (stored as raw
+// bits), safe for concurrent use.
+type FloatGauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewFloatGauge registers and returns a float gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) metricName() string { return g.name }
+func (g *FloatGauge) snapshot() any      { return g.Value() }
+func (g *FloatGauge) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		g.name, g.help, g.name, g.name, formatFloat(g.Value()))
+}
+
+// Histogram is a log-bucketed cumulative histogram of int64 observations
+// (typically durations in nanoseconds), safe for concurrent use. Bucket
+// upper bounds double from a configurable start, so a handful of buckets
+// cover many orders of magnitude.
+type Histogram struct {
+	name, help string
+	bounds     []int64 // ascending upper bounds; implicit +Inf bucket after
+	counts     []atomic.Int64
+	sum        atomic.Int64
+	count      atomic.Int64
+}
+
+// NewDurationHistogram registers a histogram with 32 power-of-two
+// nanosecond buckets from 1µs (~covering 1µs to over an hour), suitable
+// for ECT and queuing-delay observations.
+func (r *Registry) NewDurationHistogram(name, help string) *Histogram {
+	bounds := make([]int64, 32)
+	b := int64(time.Microsecond)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return r.NewHistogram(name, help, bounds)
+}
+
+// NewHistogram registers a histogram with the given ascending upper
+// bounds (an implicit +Inf bucket is appended).
+func (r *Registry) NewHistogram(name, help string, bounds []int64) *Histogram {
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) snapshot() any {
+	buckets := make(map[string]int64, len(h.bounds)+1)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		buckets["le_"+strconv.FormatInt(b, 10)] = cum
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	buckets["le_inf"] = cum
+	return map[string]any{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
+}
+
+func (h *Histogram) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+}
+
+// Distribution is a refreshable snapshot histogram of float64 samples:
+// each Update replaces the whole distribution. Unlike Histogram it
+// describes current state (e.g. the link-utilization distribution right
+// now), not a stream of observations. Readers may observe a torn update
+// across buckets; each bucket value is individually consistent, which is
+// all a monitoring scrape needs.
+type Distribution struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; implicit +Inf after
+	counts     []atomic.Int64
+	scratch    []int64 // Update-side accumulation; single updater only
+}
+
+// NewDistribution registers a distribution with the given ascending
+// upper bounds.
+func (r *Registry) NewDistribution(name, help string, bounds []float64) *Distribution {
+	d := &Distribution{
+		name:    name,
+		help:    help,
+		bounds:  append([]float64(nil), bounds...),
+		counts:  make([]atomic.Int64, len(bounds)+1),
+		scratch: make([]int64, len(bounds)+1),
+	}
+	r.register(d)
+	return d
+}
+
+// Update recomputes the distribution from samples. Only one goroutine
+// may call Update (readers are unrestricted).
+func (d *Distribution) Update(samples []float64) {
+	for i := range d.scratch {
+		d.scratch[i] = 0
+	}
+	for _, v := range samples {
+		i := sort.SearchFloat64s(d.bounds, v)
+		// SearchFloat64s finds the first bound >= v, which is the
+		// (v <= bound) bucket except when v exceeds every bound.
+		d.scratch[i]++
+	}
+	for i := range d.counts {
+		d.counts[i].Store(d.scratch[i])
+	}
+}
+
+func (d *Distribution) metricName() string { return d.name }
+
+func (d *Distribution) snapshot() any {
+	buckets := make(map[string]int64, len(d.bounds)+1)
+	var cum int64
+	for i, b := range d.bounds {
+		cum += d.counts[i].Load()
+		buckets["le_"+formatFloat(b)] = cum
+	}
+	cum += d.counts[len(d.bounds)].Load()
+	buckets["le_inf"] = cum
+	return buckets
+}
+
+func (d *Distribution) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", d.name, d.help, d.name)
+	var cum int64
+	for i, b := range d.bounds {
+		cum += d.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", d.name, formatFloat(b), cum)
+	}
+	cum += d.counts[len(d.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", d.name, cum)
+}
+
+// formatFloat renders floats compactly ("0.6", not "0.600000").
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// SimMetrics is the live metric set the engine maintains: queue depth,
+// virtual clock, utilization, round/event counters, probe-cache
+// effectiveness, the ECT and queuing-delay histograms, and the current
+// link-utilization distribution.
+type SimMetrics struct {
+	QueueDepth   *Gauge
+	VirtualClock *Gauge
+	Utilization  *FloatGauge
+
+	Rounds        *Counter
+	EventsDone    *Counter
+	FlowsAdmitted *Counter
+	FlowsFailed   *Counter
+
+	ProbeHits    *Gauge
+	ProbeMisses  *Gauge
+	ProbeHitRate *FloatGauge
+
+	ECT          *Histogram
+	QueuingDelay *Histogram
+	LinkUtil     *Distribution
+}
+
+// NewSimMetrics registers the full engine metric set under the
+// "netupdate_" prefix.
+func NewSimMetrics(r *Registry) *SimMetrics {
+	utilBounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	return &SimMetrics{
+		QueueDepth:   r.NewGauge("netupdate_queue_depth", "Events waiting in the update queue."),
+		VirtualClock: r.NewGauge("netupdate_virtual_clock_ns", "Simulation virtual clock in nanoseconds."),
+		Utilization:  r.NewFloatGauge("netupdate_utilization", "Overall link utilization of the fabric."),
+
+		Rounds:        r.NewCounter("netupdate_rounds_total", "Scheduling rounds executed."),
+		EventsDone:    r.NewCounter("netupdate_events_done_total", "Update events completed."),
+		FlowsAdmitted: r.NewCounter("netupdate_flows_admitted_total", "Event flows admitted."),
+		FlowsFailed:   r.NewCounter("netupdate_flows_failed_total", "Event flow specs that could not be admitted."),
+
+		ProbeHits:    r.NewGauge("netupdate_probe_cache_hits", "Cost probes answered from the epoch cache (run total)."),
+		ProbeMisses:  r.NewGauge("netupdate_probe_cache_misses", "Cost probes freshly planned (run total)."),
+		ProbeHitRate: r.NewFloatGauge("netupdate_probe_hit_rate", "Probe cache hit rate, 0 when no probes ran."),
+
+		ECT:          r.NewDurationHistogram("netupdate_ect_ns", "Event completion time (completion - arrival), ns."),
+		QueuingDelay: r.NewDurationHistogram("netupdate_queuing_delay_ns", "Event queuing delay (start - arrival), ns."),
+		LinkUtil:     r.NewDistribution("netupdate_link_utilization", "Current per-link utilization distribution.", utilBounds),
+	}
+}
+
+// SetProbeStats refreshes the probe-cache gauges from run totals.
+func (m *SimMetrics) SetProbeStats(hits, misses int64) {
+	m.ProbeHits.Set(hits)
+	m.ProbeMisses.Set(misses)
+	if total := hits + misses; total > 0 {
+		m.ProbeHitRate.Set(float64(hits) / float64(total))
+	} else {
+		m.ProbeHitRate.Set(0)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives trace records. Emit is called from the goroutine that
+// owns the simulation state (records are never emitted concurrently);
+// sinks that are also read from other goroutines (RingSink) synchronize
+// internally. The record pointer is only valid during the call — sinks
+// that retain records must copy them.
+type Sink interface {
+	// Emit consumes one record.
+	Emit(r *Record)
+	// Flush forces buffered records out and reports any write error
+	// accumulated so far.
+	Flush() error
+}
+
+// NilSink discards every record. It exists for explicitness; leaving the
+// engine's tracer nil is the cheaper way to disable tracing entirely.
+type NilSink struct{}
+
+// Emit implements Sink.
+func (NilSink) Emit(*Record) {}
+
+// Flush implements Sink.
+func (NilSink) Flush() error { return nil }
+
+// JSONLSink writes each record as one JSON line. Records contain only
+// virtual-clock timestamps and deterministic fields, and Go's
+// encoding/json marshals struct fields in declaration order, so two runs
+// with the same seed and config produce byte-identical output.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w (buffered; call
+// Flush when done).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. The first encode error sticks and suppresses
+// further writes; Flush reports it.
+func (s *JSONLSink) Emit(r *Record) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(r)
+}
+
+// Flush implements Sink.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// RingSink keeps the most recent records in a fixed-size ring buffer, for
+// live inspection of a running daemon (the ctl "trace" verb). It is safe
+// for concurrent Emit and Last.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Record
+	next  int
+	total uint64
+}
+
+// NewRingSink returns a ring sink retaining the last n records (n >= 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Record, 0, n)}
+}
+
+// Emit implements Sink, copying the record into the ring.
+func (s *RingSink) Emit(r *Record) {
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, *r)
+	} else {
+		s.buf[s.next] = *r
+	}
+	s.next = (s.next + 1) % cap(s.buf)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Flush implements Sink (no-op).
+func (*RingSink) Flush() error { return nil }
+
+// Total returns the number of records ever emitted (including evicted).
+func (s *RingSink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Last returns up to n of the most recent records, oldest first.
+// n <= 0 returns everything retained.
+func (s *RingSink) Last(n int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := len(s.buf)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Record, 0, n)
+	// Oldest retained record is at next when the ring is full, else 0.
+	start := 0
+	if size == cap(s.buf) {
+		start = s.next
+	}
+	for i := size - n; i < size; i++ {
+		out = append(out, s.buf[(start+i)%size])
+	}
+	return out
+}

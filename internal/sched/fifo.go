@@ -35,12 +35,14 @@ var _ Scheduler = Reorder{}
 func (Reorder) Name() string { return "reorder" }
 
 // Pick implements Scheduler: probe all, choose the cheapest (ties go to
-// the earliest arrival).
+// the earliest arrival). Every probe is reported in Decision.Probes —
+// Reorder's full-queue scan is already the expensive baseline, so the
+// recording is unconditional (no ProbeRecorder opt-in needed).
 func (Reorder) Pick(q *Queue, planner *core.Planner) (Decision, error) {
 	if q.Len() == 0 {
 		return Decision{}, ErrEmptyQueue
 	}
-	d := Decision{}
+	d := Decision{Probes: make([]ProbeRecord, 0, q.Len())}
 	best := -1
 	var bestCost float64
 	for i := 0; i < q.Len(); i++ {
@@ -49,6 +51,13 @@ func (Reorder) Pick(q *Queue, planner *core.Planner) (Decision, error) {
 			return Decision{}, err
 		}
 		d.Evals += est.Evals
+		d.Probes = append(d.Probes, ProbeRecord{
+			Event:      q.At(i),
+			Cost:       est.Cost,
+			Admittable: est.Admittable,
+			Evals:      est.Evals,
+			CacheHit:   est.FromCache,
+		})
 		if best == -1 || float64(est.Cost) < bestCost {
 			best, bestCost = i, float64(est.Cost)
 		}

@@ -35,6 +35,9 @@ type LMTF struct {
 	probes int
 	// eng is the probe engine, bound lazily to the planner Pick receives.
 	eng *core.ProbeEngine
+	// record makes Pick report per-candidate probe outcomes in
+	// Decision.Probes (see ProbeRecorder); off by default.
+	record bool
 	// scratch backs sampleIndices between rounds so sampling allocates
 	// nothing in steady state.
 	scratch []int
@@ -42,6 +45,7 @@ type LMTF struct {
 
 var _ Scheduler = (*LMTF)(nil)
 var _ CostProber = (*LMTF)(nil)
+var _ ProbeRecorder = (*LMTF)(nil)
 
 // NewLMTF returns an LMTF scheduler with the given sample size (0 means
 // DefaultAlpha) and RNG seed. Probe concurrency defaults to GOMAXPROCS;
@@ -65,6 +69,9 @@ func (s *LMTF) SetProbes(n int) {
 	s.probes = n
 	s.eng = nil // rebuilt with the new width on next Pick
 }
+
+// SetRecordProbes implements ProbeRecorder.
+func (s *LMTF) SetRecordProbes(on bool) { s.record = on }
 
 // ProbeEngine implements CostProber, returning the engine bound to the
 // given planner (rebinding if the planner changed since the last round).
@@ -115,6 +122,19 @@ func (s *LMTF) selectCandidates(q *Queue, planner *core.Planner) ([]candidate, D
 		est := ests[j]
 		d.Evals += est.Evals
 		cands = append(cands, candidate{ev: evs[j], index: i, cost: est.Cost, admittable: est.Admittable})
+	}
+	if s.record {
+		d.Probes = make([]ProbeRecord, len(indices))
+		for j := range indices {
+			est := ests[j]
+			d.Probes[j] = ProbeRecord{
+				Event:      evs[j],
+				Cost:       est.Cost,
+				Admittable: est.Admittable,
+				Evals:      est.Evals,
+				CacheHit:   est.FromCache,
+			}
+		}
 	}
 	// Move the winner to the front; keep everyone else in arrival order.
 	best := 0

@@ -26,6 +26,7 @@ type PLMTF struct {
 
 var _ Scheduler = (*PLMTF)(nil)
 var _ CostProber = (*PLMTF)(nil)
+var _ ProbeRecorder = (*PLMTF)(nil)
 
 // NewPLMTF returns a P-LMTF scheduler with the given sample size (0 means
 // DefaultAlpha) and RNG seed.
@@ -52,6 +53,9 @@ func (s *PLMTF) SetScanAll(all bool) { s.scanAll = all }
 
 // SetProbes implements CostProber, delegating to the inner LMTF.
 func (s *PLMTF) SetProbes(n int) { s.inner.SetProbes(n) }
+
+// SetRecordProbes implements ProbeRecorder, delegating to the inner LMTF.
+func (s *PLMTF) SetRecordProbes(on bool) { s.inner.SetRecordProbes(on) }
 
 // ProbeEngine implements CostProber, delegating to the inner LMTF so both
 // the selection probes and the full-queue scan share one cache.
@@ -93,6 +97,15 @@ func (s *PLMTF) Pick(q *Queue, planner *core.Planner) (Decision, error) {
 		for j, ev := range unprobed {
 			d.Evals += ests[j].Evals
 			byEvent[ev] = ests[j].Admittable
+			if s.inner.record {
+				d.Probes = append(d.Probes, ProbeRecord{
+					Event:      ev,
+					Cost:       ests[j].Cost,
+					Admittable: ests[j].Admittable,
+					Evals:      ests[j].Evals,
+					CacheHit:   ests[j].FromCache,
+				})
+			}
 		}
 		rest := make([]Candidate, 0, q.Len()-1)
 		for i := 0; i < q.Len(); i++ {

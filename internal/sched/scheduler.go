@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"netupdate/internal/core"
+	"netupdate/internal/topology"
 )
 
 // ErrEmptyQueue is returned by Pick on an empty queue.
@@ -21,6 +22,26 @@ type Decision struct {
 	// Evals is the planning work (feasibility evaluations) spent making
 	// this decision; the simulator charges plan time for it.
 	Evals int
+	// Probes reports the individual cost probes behind the decision, in
+	// the order they were sampled, for observability (the per-round
+	// trace record). It is populated only when probe recording has been
+	// enabled via ProbeRecorder — the default leaves it nil so that
+	// untraced decisions allocate nothing extra.
+	Probes []ProbeRecord
+}
+
+// ProbeRecord is one cost probe made while deciding a round, as reported
+// in Decision.Probes.
+type ProbeRecord struct {
+	// Event is the probed event.
+	Event *core.Event
+	// Cost, Admittable and Evals mirror the probe's core.Estimate.
+	Cost       topology.Bandwidth
+	Admittable int
+	Evals      int
+	// CacheHit reports whether the probe engine answered from its epoch
+	// cache instead of replanning.
+	CacheHit bool
 }
 
 // Candidate is an event offered for opportunistic co-scheduling together
@@ -58,6 +79,15 @@ type CostProber interface {
 	SetProbes(n int)
 	// ProbeEngine returns the engine bound to the given planner.
 	ProbeEngine(planner *core.Planner) *core.ProbeEngine
+}
+
+// ProbeRecorder is implemented by schedulers that can report their
+// per-candidate probe outcomes in Decision.Probes. Recording defaults to
+// off so that untraced hot paths stay allocation-identical; the
+// simulator turns it on when a tracer is attached to the engine.
+type ProbeRecorder interface {
+	// SetRecordProbes enables or disables Decision.Probes reporting.
+	SetRecordProbes(on bool)
 }
 
 // probeCost estimates an event's current update cost, tolerating

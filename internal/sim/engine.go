@@ -9,7 +9,9 @@ import (
 	"netupdate/internal/core"
 	"netupdate/internal/metrics"
 	"netupdate/internal/migration"
+	"netupdate/internal/obs"
 	"netupdate/internal/sched"
+	"netupdate/internal/topology"
 	"netupdate/internal/trace"
 )
 
@@ -30,6 +32,17 @@ type Engine struct {
 	releases  releaseHeap
 	collector *metrics.Collector
 	churn     *churner
+
+	// obs is the optional observability tracer (nil = disabled; every
+	// instrumentation hook below reduces to one nil check).
+	obs    *obs.Tracer
+	rounds int64
+	// curRound accumulates the round record being built (obs enabled
+	// only); runLane appends its claim and span to it.
+	curRound *obs.RoundRecord
+	// utilScratch backs the per-round link-utilization snapshot so the
+	// telemetry refresh allocates nothing in steady state.
+	utilScratch []float64
 }
 
 // NewEngine builds an engine. The planner owns the (pre-filled) network;
@@ -46,6 +59,20 @@ func NewEngine(planner *core.Planner, scheduler sched.Scheduler, cfg Config) *En
 		collector: metrics.NewCollector(),
 	}
 }
+
+// SetTracer attaches an observability tracer (nil detaches). Call before
+// Run or the first Step. Attaching also turns on per-candidate probe
+// recording for schedulers that support it, so round records carry the
+// sampled candidates' costs and cache hits.
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	e.obs = t
+	if pr, ok := e.scheduler.(sched.ProbeRecorder); ok {
+		pr.SetRecordProbes(t != nil)
+	}
+}
+
+// Tracer returns the attached tracer, or nil.
+func (e *Engine) Tracer() *obs.Tracer { return e.obs }
 
 // probeEngine returns the scheduler's probe engine, or nil for schedulers
 // (FIFO, Reorder) that probe the live network directly.
@@ -65,6 +92,9 @@ func (e *Engine) Run(events []*core.Event) (*metrics.Collector, error) {
 	sort.SliceStable(e.pending, func(i, j int) bool {
 		return e.pending[i].Arrival < e.pending[j].Arrival
 	})
+	if e.obs != nil {
+		e.obs.RunStart(int64(e.clock), e.scheduler.Name(), len(events))
+	}
 
 	for {
 		e.admitArrivals()
@@ -91,6 +121,7 @@ func (e *Engine) Run(events []*core.Event) (*metrics.Collector, error) {
 // (typically to Clock()).
 func (e *Engine) Enqueue(ev *core.Event) {
 	e.queue.Push(ev)
+	e.traceArrival(ev)
 }
 
 // Step runs one scheduling round if the queue is non-empty and reports
@@ -123,9 +154,24 @@ func (e *Engine) Collector() *metrics.Collector { return e.collector }
 // update queue.
 func (e *Engine) admitArrivals() {
 	for len(e.pending) > 0 && e.pending[0].Arrival <= e.clock {
-		e.queue.Push(e.pending[0])
+		ev := e.pending[0]
+		e.queue.Push(ev)
 		e.pending = e.pending[1:]
+		e.traceArrival(ev)
 	}
+}
+
+// traceArrival emits an arrival record for an event just queued.
+func (e *Engine) traceArrival(ev *core.Event) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.EventArrival(int64(ev.Arrival), obs.ArrivalRecord{
+		Event:      int64(ev.ID),
+		Kind:       ev.Kind,
+		Flows:      ev.NumFlows(),
+		QueueDepth: e.queue.Len(),
+	})
 }
 
 // EnableChurn turns over background traffic during the run: every
@@ -175,6 +221,29 @@ func (e *Engine) runRound() error {
 	e.collector.DecisionEvals += decision.Evals
 	e.collector.PlanTime += decisionTime
 
+	e.rounds++
+	if e.obs != nil {
+		rr := &obs.RoundRecord{
+			Round:         e.rounds,
+			QueueDepth:    e.queue.Len(),
+			Head:          int64(decision.Head.ID),
+			DecisionEvals: decision.Evals,
+		}
+		if len(decision.Probes) > 0 {
+			rr.Candidates = make([]obs.ProbeOutcome, len(decision.Probes))
+			for i, p := range decision.Probes {
+				rr.Candidates[i] = obs.ProbeOutcome{
+					Event:      int64(p.Event.ID),
+					CostBps:    int64(p.Cost),
+					Evals:      p.Evals,
+					Admittable: p.Admittable,
+					CacheHit:   p.CacheHit,
+				}
+			}
+		}
+		e.curRound = rr
+	}
+
 	roundStart := e.clock
 	if e.cfg.SerialPlanning {
 		roundStart += decisionTime
@@ -210,7 +279,21 @@ func (e *Engine) runRound() error {
 		}
 		e.collector.DecisionEvals += est.Evals
 		e.collector.PlanTime += e.cfg.planTime(est.Evals)
-		if est.Admittable < cand.AloneAdmittable {
+		committed := est.Admittable >= cand.AloneAdmittable
+		if rr := e.curRound; rr != nil {
+			rr.CoScheduled = append(rr.CoScheduled, obs.CoSchedule{
+				Probe: obs.ProbeOutcome{
+					Event:      int64(cand.Event.ID),
+					CostBps:    int64(est.Cost),
+					Evals:      est.Evals,
+					Admittable: est.Admittable,
+					CacheHit:   est.FromCache,
+				},
+				AloneAdmittable: cand.AloneAdmittable,
+				Committed:       committed,
+			})
+		}
+		if !committed {
 			continue
 		}
 		end, err := e.runLane(cand.Event, roundStart)
@@ -224,7 +307,31 @@ func (e *Engine) runRound() error {
 
 	e.advanceTo(roundEnd)
 	e.syncProbeStats()
+	if rr := e.curRound; rr != nil {
+		rr.EndVT = int64(roundEnd)
+		e.obs.Round(int64(roundStart), rr)
+		e.curRound = nil
+		e.syncTelemetry()
+	}
 	return nil
+}
+
+// syncTelemetry refreshes the live gauges a scrape reads: virtual clock,
+// overall utilization and the per-link utilization distribution. Called
+// at the end of each round when a tracer with metrics is attached.
+func (e *Engine) syncTelemetry() {
+	m := e.obs.Metrics()
+	if m == nil {
+		return
+	}
+	g := e.planner.Network().Graph()
+	m.VirtualClock.Set(int64(e.clock))
+	m.Utilization.Set(g.Utilization())
+	e.utilScratch = e.utilScratch[:0]
+	for i := 0; i < g.NumLinks(); i++ {
+		e.utilScratch = append(e.utilScratch, g.Link(topology.LinkID(i)).Utilization())
+	}
+	m.LinkUtil.Update(e.utilScratch)
 }
 
 // syncProbeStats copies the probe engine's cumulative counters into the
@@ -241,6 +348,11 @@ func (e *Engine) syncProbeStats() {
 	e.collector.ProbeForks = st.Forks
 	e.collector.ProbeResyncs = st.Resyncs
 	e.collector.ProbeWallTime = st.ProbeTime
+	if e.obs != nil {
+		if m := e.obs.Metrics(); m != nil {
+			m.SetProbeStats(int64(st.Hits), int64(st.Misses))
+		}
+	}
 }
 
 // runLane executes one event starting at laneStart and returns the lane's
@@ -296,5 +408,30 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 		Cost:       res.Cost,
 		PlanEvals:  res.Evals,
 	})
+	if rr := e.curRound; rr != nil {
+		opportunistic := len(rr.Claims) > 0 // the head's claim is always first
+		rr.Claims = append(rr.Claims, obs.LaneClaim{
+			Event:        int64(ev.ID),
+			Flows:        len(res.Admitted),
+			Failed:       res.Failed,
+			CostBps:      int64(res.Cost),
+			Evals:        res.Evals,
+			CompletionVT: int64(completion),
+		})
+		e.obs.EventComplete(int64(completion), obs.SpanRecord{
+			Event:         int64(ev.ID),
+			Kind:          ev.Kind,
+			Round:         e.rounds,
+			ArrivalVT:     int64(ev.Arrival),
+			StartVT:       int64(ev.Start),
+			CompletionVT:  int64(ev.Completion),
+			QueuingNs:     int64(ev.QueuingDelay()),
+			ECTNs:         int64(ev.ECT()),
+			Flows:         len(res.Admitted),
+			Failed:        res.Failed,
+			CostBps:       int64(res.Cost),
+			Opportunistic: opportunistic,
+		})
+	}
 	return completion, nil
 }

@@ -7,7 +7,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkDecision|BenchmarkProbeEvent|BenchmarkNetworkFork|BenchmarkAdmitFlow}"
+BENCH="${BENCH:-BenchmarkDecision|BenchmarkProbeEvent|BenchmarkNetworkFork|BenchmarkAdmitFlow|BenchmarkTraceOverhead}"
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="BENCH_$(date +%Y%m%d).json"
 
@@ -30,7 +30,21 @@ printf '%s\n' "$raw"
       sep = ","
     }
     END { printf "\n" }'
-  printf '  ]\n'
+  printf '  ],\n'
+  # Tracing overhead: ring-sink vs tracing-disabled end-to-end runs
+  # (BenchmarkTraceOverhead/{off,ring}). Deltas near zero mean the
+  # observability layer is effectively free when disabled and cheap live.
+  printf '%s\n' "$raw" | awk '
+    # The -N GOMAXPROCS suffix is absent when GOMAXPROCS is 1.
+    $1 ~ /^BenchmarkTraceOverhead\/off(-[0-9]+)?$/  { off = $3 }
+    $1 ~ /^BenchmarkTraceOverhead\/ring(-[0-9]+)?$/ { ring = $3 }
+    END {
+      printf "  \"trace_overhead\": "
+      if (off > 0 && ring > 0)
+        printf "{\"off_ns_per_op\": %s, \"ring_ns_per_op\": %s, \"delta_pct\": %.2f}\n", off, ring, (ring - off) * 100 / off
+      else
+        printf "null\n"
+    }'
   printf '}\n'
 } >"$OUT"
 
