@@ -10,9 +10,16 @@
 //	updatectl -addr host:7421 results
 //	updatectl -addr host:7421 snapshot > state.json
 //	updatectl -addr host:7421 trace [n] > trace.jsonl
+//	updatectl -addr host:7421 fault link-down -link 12
+//	updatectl -addr host:7421 fault install-timeout -times 2
 //
 // submit reads JSON Lines (one event per line, the cmd/tracegen format),
 // submits every event, waits for completion, and prints per-event metrics.
+//
+// fault injects a failure into the running schedule: link-down/link-up
+// take -link, switch-down/switch-up take -node, install-timeout takes
+// -event (0 = next executed) and -times. The response reports what was
+// disrupted and any repair event minted to re-admit the affected flows.
 package main
 
 import (
@@ -43,7 +50,7 @@ func run(args []string, stdout io.Writer) int {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace")
+		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace|fault")
 		return 2
 	}
 
@@ -87,6 +94,10 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(stdout, "rounds         %d\n", stats.Rounds)
 		fmt.Fprintf(stdout, "probe cache    %d hits / %d misses (%.2f hit rate)\n",
 			stats.ProbeCacheHits, stats.ProbeCacheMisses, stats.ProbeHitRate)
+		fmt.Fprintf(stdout, "faults         %d injected, %d links down, %d repair events, %d flows disrupted\n",
+			stats.FaultsInjected, stats.LinksDown, stats.RepairEvents, stats.FlowsDisrupted)
+		fmt.Fprintf(stdout, "installs       %d retries, %d rollbacks\n",
+			stats.InstallRetries, stats.InstallRollbacks)
 		return 0
 
 	case "trace":
@@ -174,6 +185,35 @@ func run(args []string, stdout io.Writer) int {
 			in = f
 		}
 		return submitAll(client, in, stdout, *timeout)
+
+	case "fault":
+		if len(rest) < 2 {
+			fmt.Fprintln(os.Stderr, "updatectl: fault needs an action: link-down|link-up|switch-down|switch-up|install-timeout")
+			return 2
+		}
+		ffs := flag.NewFlagSet("fault", flag.ContinueOnError)
+		var (
+			link  = ffs.Int("link", 0, "target link index (link-down/link-up)")
+			node  = ffs.Int("node", 0, "target switch index (switch-down/switch-up)")
+			event = ffs.Int64("event", 0, "target event for install-timeout (0 = next executed)")
+			times = ffs.Int("times", 1, "how many install attempts fail (install-timeout)")
+		)
+		if err := ffs.Parse(rest[2:]); err != nil {
+			return 2
+		}
+		res, err := client.Fault(ctl.FaultSpec{
+			Action: rest[1], Link: *link, Node: *node, Event: *event, Times: *times,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "fault %s: %d links changed, %d flows disrupted, %d links down\n",
+			res.Action, res.LinksChanged, res.FlowsAffected, res.LinksDown)
+		if res.RepairEventID != 0 {
+			fmt.Fprintf(stdout, "repair event %d queued\n", res.RepairEventID)
+		}
+		return 0
 
 	default:
 		fmt.Fprintf(os.Stderr, "updatectl: unknown command %q\n", rest[0])

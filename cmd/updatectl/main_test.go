@@ -128,6 +128,69 @@ func TestBadInvocations(t *testing.T) {
 
 func itoa(v int) string { return strconv.Itoa(v) }
 
+func TestFaultCommand(t *testing.T) {
+	addr, ft := startDaemon(t)
+	hosts := ft.Hosts()
+
+	// Arm an install timeout, then submit an event to absorb it: the event
+	// still completes (one timeout is survivable) and stats count the retry.
+	var out bytes.Buffer
+	if code := run([]string{"-addr", addr, "fault", "install-timeout", "-times", "1"}, &out); code != 0 {
+		t.Fatalf("fault install-timeout exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "fault install-timeout") {
+		t.Errorf("fault output:\n%s", out.String())
+	}
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	line := `{"id":1,"kind":"test","flows":[` +
+		`{"src":` + itoa(int(hosts[0])) + `,"dst":` + itoa(int(hosts[1])) + `,"demand_bps":1000000}]}` + "\n"
+	if err := os.WriteFile(trace, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-addr", addr, "submit", trace}, &out); code != 0 {
+		t.Fatalf("submit exit = %d; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1/1 flows admitted") {
+		t.Errorf("submit output:\n%s", out.String())
+	}
+
+	// Flip a link down and back up; the gauge tracks both transitions.
+	out.Reset()
+	if code := run([]string{"-addr", addr, "fault", "link-down", "-link", "0"}, &out); code != 0 {
+		t.Fatalf("fault link-down exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "1 links changed") || !strings.Contains(out.String(), "1 links down") {
+		t.Errorf("link-down output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-addr", addr, "fault", "link-up", "-link", "0"}, &out); code != 0 {
+		t.Fatalf("fault link-up exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "0 links down") {
+		t.Errorf("link-up output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-addr", addr, "stats"}, &out); code != 0 {
+		t.Fatalf("stats exit = %d", code)
+	}
+	for _, want := range []string{"3 injected", "0 links down", "1 retries, 0 rollbacks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Bad invocations: missing action is usage (2), unknown action is a
+	// server-side reject (1).
+	if code := run([]string{"-addr", addr, "fault"}, &out); code != 2 {
+		t.Errorf("missing action exit = %d, want 2", code)
+	}
+	if code := run([]string{"-addr", addr, "fault", "meteor-strike"}, &out); code != 1 {
+		t.Errorf("unknown action exit = %d, want 1", code)
+	}
+}
+
 func TestSnapshotCommand(t *testing.T) {
 	addr, _ := startDaemon(t)
 	var out bytes.Buffer

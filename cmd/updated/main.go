@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	netpkg "net" // aliased: the local network state below is named net
 	"net/http"
 	"os"
@@ -40,10 +41,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, sigs))
 }
 
-func run(args []string) int {
+// run is the daemon body; main injects the real stdout and signal
+// channel, tests inject buffers and a synthetic stop. The bound control
+// address is always printed before the daemon reports ready, so callers
+// using "-addr :0" learn the real port.
+func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 	fs := flag.NewFlagSet("updated", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":7421", "listen address")
@@ -85,7 +92,7 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "updated: rule tables: %v\n", err)
 			return 1
 		}
-		fmt.Printf("updated: two-phase rule tables attached (capacity %d per switch)\n", *tables)
+		fmt.Fprintf(stdout, "updated: two-phase rule tables attached (capacity %d per switch)\n", *tables)
 	}
 	gen, err := trace.NewGenerator(*seed, trace.YahooLike{}, ft.Hosts())
 	if err != nil {
@@ -98,7 +105,7 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "updated: background: %v\n", err)
 			return 1
 		}
-		fmt.Printf("updated: background %d flows, utilization %.3f\n", len(placed), net.Utilization())
+		fmt.Fprintf(stdout, "updated: background %d flows, utilization %.3f\n", len(placed), net.Utilization())
 	}
 
 	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
@@ -119,7 +126,7 @@ func run(args []string) int {
 				fmt.Fprintf(os.Stderr, "updated: telemetry: %v\n", err)
 			}
 		}()
-		fmt.Printf("updated: telemetry on http://%s/metrics\n", l.Addr())
+		fmt.Fprintf(stdout, "updated: telemetry on http://%s/metrics\n", l.Addr())
 		defer func() {
 			if err := telemetrySrv.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "updated: telemetry close: %v\n", err)
@@ -127,16 +134,22 @@ func run(args []string) int {
 		}()
 	}
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	// Bind the control port before serving so a taken address fails fast
+	// and the printed address is the real one even for ":0".
+	l, err := netpkg.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updated: listen: %v\n", err)
+		return 1
+	}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe(*addr) }()
-	fmt.Printf("updated: %s scheduler on %s (k=%d, %d hosts)\n",
-		scheduler.Name(), *addr, *k, ft.NumHosts())
+	go func() { serveErr <- srv.Serve(l) }()
+	fmt.Fprintf(stdout, "updated: listening on %s\n", l.Addr())
+	fmt.Fprintf(stdout, "updated: %s scheduler on %s (k=%d, %d hosts)\n",
+		scheduler.Name(), l.Addr(), *k, ft.NumHosts())
 
 	select {
-	case sig := <-sigs:
-		fmt.Printf("updated: %v, shutting down\n", sig)
+	case sig := <-stop:
+		fmt.Fprintf(stdout, "updated: %v, shutting down\n", sig)
 		if err := srv.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "updated: close: %v\n", err)
 			return 1

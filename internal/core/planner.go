@@ -133,6 +133,30 @@ func (r *ExecResult) estimate() *Estimate {
 	}
 }
 
+// RollbackExec undoes a committed Execute: each admission's migrations
+// are reverted in reverse order, then the event's own flows are withdrawn
+// and removed, restoring the network to its exact pre-Execute state. The
+// fault layer uses this when rule installs keep timing out after the
+// bandwidth-level plan already committed. The event's Flows list is
+// cleared; the caller decides how to re-record the specs (typically as
+// FailedSpecs).
+func (p *Planner) RollbackExec(res *ExecResult) error {
+	net := p.mig.Network()
+	for i := len(res.Admitted) - 1; i >= 0; i-- {
+		if err := p.mig.Rollback(res.Admitted[i]); err != nil {
+			return fmt.Errorf("rollback %v: %w", res.Event, err)
+		}
+	}
+	ev := res.Event
+	for i := len(ev.Flows) - 1; i >= 0; i-- {
+		if err := net.Remove(ev.Flows[i]); err != nil {
+			return fmt.Errorf("rollback %v: remove %v: %w", ev, ev.Flows[i], err)
+		}
+	}
+	ev.Flows = nil
+	return nil
+}
+
 // run admits the event's flows in order. When commit is false, all
 // admissions are rolled back before returning (in reverse order, restoring
 // the exact prior state) and the event's bookkeeping fields are untouched.

@@ -285,3 +285,42 @@ func TestPlannerNetworkAccessor(t *testing.T) {
 		t.Error("Network() returned wrong network")
 	}
 }
+
+func TestRollbackExecRestoresExactState(t *testing.T) {
+	// Use a migration-heavy execute so rollback must also un-migrate the
+	// victim, not just withdraw the event's own flows.
+	s := newCoreScenario(t, 800*topology.Mbps)
+	before := s.snapshot()
+	victimPath := s.victim.Path()
+	p := s.planner(0)
+	ev := NewEvent(1, "test", 0, []flow.Spec{
+		{Src: s.a, Dst: s.b, Demand: 500 * topology.Mbps},
+	})
+	res, err := p.Execute(ev)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Cost == 0 {
+		t.Fatal("scenario did not force a migration")
+	}
+
+	if err := p.RollbackExec(res); err != nil {
+		t.Fatalf("RollbackExec: %v", err)
+	}
+	after := s.snapshot()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("link %d reserved = %v, want pre-Execute %v", i, after[i], before[i])
+		}
+	}
+	if !s.victim.Path().Equal(victimPath) {
+		t.Errorf("victim path = %v, want restored %v", s.victim.Path(), victimPath)
+	}
+	if len(ev.Flows) != 0 {
+		t.Errorf("event still owns %d flows after rollback", len(ev.Flows))
+	}
+	// The event's flows are gone from the registry: only the victim remains.
+	if got := len(s.net.Registry().Placed()); got != 1 {
+		t.Errorf("placed flows after rollback = %d, want 1 (the victim)", got)
+	}
+}

@@ -108,6 +108,19 @@ func (c *Client) Stats() (Stats, error) {
 	return *resp.Stats, nil
 }
 
+// Fault injects a fault into the running schedule and reports what it
+// disrupted (links flipped, flows withdrawn, the repair event minted).
+func (c *Client) Fault(spec FaultSpec) (FaultResult, error) {
+	resp, err := c.roundTrip(Request{Op: OpFault, Fault: &spec})
+	if err != nil {
+		return FaultResult{}, err
+	}
+	if resp.Fault == nil {
+		return FaultResult{}, fmt.Errorf("ctl: fault: empty response")
+	}
+	return *resp.Fault, nil
+}
+
 // Trace fetches the most recent n scheduling-trace records (oldest
 // first); n <= 0 fetches everything the server's ring retains.
 func (c *Client) Trace(n int) ([]obs.Record, error) {

@@ -373,6 +373,131 @@ func TestSnapshotOp(t *testing.T) {
 	}
 }
 
+// loadedFabricLink finds the most loaded switch-switch link purely from a
+// snapshot, so the test never touches the server's graph concurrently.
+func loadedFabricLink(t *testing.T, snap *snapshot.Snapshot) int {
+	t.Helper()
+	load := make([]int64, len(snap.Links))
+	for _, f := range snap.Flows {
+		for _, l := range f.PathLinks {
+			load[l] += f.DemandBps
+		}
+	}
+	best, bestLink := int64(-1), -1
+	for i, l := range snap.Links {
+		if !topology.NodeKind(snap.Nodes[l.From].Kind).IsSwitch() ||
+			!topology.NodeKind(snap.Nodes[l.To].Kind).IsSwitch() {
+			continue
+		}
+		if load[i] > best {
+			best, bestLink = load[i], i
+		}
+	}
+	if best <= 0 {
+		t.Fatal("background fill left every fabric link empty")
+	}
+	return bestLink
+}
+
+func TestFaultLinkDownRecovery(t *testing.T) {
+	client, _ := startServer(t, sched.NewPLMTF(2, 1))
+	snap, err := client.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := loadedFabricLink(t, snap)
+
+	res, err := client.Fault(FaultSpec{Action: "link-down", Link: link})
+	if err != nil {
+		t.Fatalf("Fault link-down: %v", err)
+	}
+	if res.Action != "link-down" || res.LinksChanged != 1 || res.LinksDown != 1 {
+		t.Errorf("fault result = %+v, want link-down changing 1 link", res)
+	}
+	if res.FlowsAffected < 1 || res.RepairEventID == 0 {
+		t.Fatalf("fault result = %+v, want disrupted flows and a repair event", res)
+	}
+
+	// The minted repair event schedules like any submitted event.
+	st, err := client.WaitDone(res.RepairEventID, 5*time.Second)
+	if err != nil {
+		t.Fatalf("WaitDone(repair): %v", err)
+	}
+	if st.Kind != "link-repair" {
+		t.Errorf("repair event kind = %q, want link-repair", st.Kind)
+	}
+	if st.Flows != res.FlowsAffected {
+		t.Errorf("repair event flows = %d, want %d", st.Flows, res.FlowsAffected)
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsInjected != 1 || stats.LinksDown != 1 ||
+		stats.RepairEvents != 1 || stats.FlowsDisrupted != res.FlowsAffected {
+		t.Errorf("stats = %+v, want 1 fault, 1 link down, 1 repair, %d disrupted",
+			stats, res.FlowsAffected)
+	}
+
+	up, err := client.Fault(FaultSpec{Action: "link-up", Link: link})
+	if err != nil {
+		t.Fatalf("Fault link-up: %v", err)
+	}
+	if up.LinksDown != 0 || up.LinksChanged != 1 || up.RepairEventID != 0 {
+		t.Errorf("link-up result = %+v, want 1 link restored, none down", up)
+	}
+}
+
+func TestFaultInstallTimeout(t *testing.T) {
+	client, ft := startServer(t, sched.FIFO{})
+	if _, err := client.Fault(FaultSpec{Action: "install-timeout", Times: 1}); err != nil {
+		t.Fatalf("Fault install-timeout: %v", err)
+	}
+	id, err := client.Submit(eventSpec(ft, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.WaitDone(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admitted != 2 || st.Failed != 0 {
+		t.Errorf("admitted/failed = %d/%d, want 2/0 (one timeout is survivable)", st.Admitted, st.Failed)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InstallRetries != 1 || stats.InstallRollbacks != 0 {
+		t.Errorf("retries/rollbacks = %d/%d, want 1/0", stats.InstallRetries, stats.InstallRollbacks)
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	client, _ := startServer(t, sched.FIFO{})
+	cases := []struct {
+		name string
+		spec FaultSpec
+	}{
+		{"unknown action", FaultSpec{Action: "meteor-strike"}},
+		{"link out of range", FaultSpec{Action: "link-down", Link: 1 << 20}},
+		{"node out of range", FaultSpec{Action: "switch-down", Node: -1}},
+		{"negative times", FaultSpec{Action: "install-timeout", Times: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := client.Fault(tc.spec); err == nil {
+				t.Error("Fault succeeded, want validation error")
+			}
+		})
+	}
+	// The connection survives rejected injections.
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping after rejects: %v", err)
+	}
+}
+
 func TestTraceOp(t *testing.T) {
 	client, ft := startServer(t, sched.NewPLMTF(2, 1))
 	const n = 4

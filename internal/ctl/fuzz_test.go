@@ -1,0 +1,59 @@
+package ctl
+
+import (
+	"testing"
+)
+
+// FuzzParseRequest ensures arbitrary bytes never panic the protocol
+// decoder and that anything it accepts honours the per-op payload
+// contract the state loop relies on (submit has an event, fault has a
+// well-formed spec, the op is known).
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		`{"op":"ping"}`,
+		`{"op":"submit","event":{"kind":"test","flows":[{"src":0,"dst":1,"demand_bps":1000000}]}}`,
+		`{"op":"status","event_id":3}`,
+		`{"op":"results"}`,
+		`{"op":"stats"}`,
+		`{"op":"snapshot"}`,
+		`{"op":"trace","n":10}`,
+		`{"op":"fault","fault":{"action":"link-down","link":2}}`,
+		`{"op":"fault","fault":{"action":"switch-up","node":5}}`,
+		`{"op":"fault","fault":{"action":"install-timeout","event":1,"times":3}}`,
+		`{"op":"fault"}`,
+		`{"op":"fault","fault":{"action":"install-timeout","times":-1}}`,
+		`{"op":"submit"}`,
+		`{"op":"bogus"}`,
+		`not json at all`,
+		`{"op":"ping","event":{"flows":null}}`,
+		`{"op":42}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("ParseRequest returned a request alongside an error")
+			}
+			return
+		}
+		if !knownOps[req.Op] {
+			t.Fatalf("accepted unknown op %q", req.Op)
+		}
+		switch req.Op {
+		case OpSubmit:
+			if req.Event == nil {
+				t.Fatal("accepted submit without event")
+			}
+		case OpFault:
+			if req.Fault == nil {
+				t.Fatal("accepted fault without spec")
+			}
+			if req.Fault.Times < 0 || req.Fault.Event < 0 {
+				t.Fatalf("accepted negative fault parameters: %+v", req.Fault)
+			}
+		}
+	})
+}

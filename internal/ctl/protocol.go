@@ -10,6 +10,7 @@
 package ctl
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -39,7 +40,17 @@ const (
 	// OpTrace returns the most recent scheduling-trace records from the
 	// server's ring buffer (arrivals, per-round decisions, event spans).
 	OpTrace Op = "trace"
+	// OpFault injects a fault (link/switch failure or recovery, install
+	// timeout) into the running schedule; the response reports what the
+	// injection disrupted.
+	OpFault Op = "fault"
 )
+
+// knownOps is the set of valid protocol operations.
+var knownOps = map[Op]bool{
+	OpPing: true, OpSubmit: true, OpStatus: true, OpResults: true,
+	OpStats: true, OpSnapshot: true, OpTrace: true, OpFault: true,
+}
 
 // FlowSpec is one flow of a submitted event. Host indices refer to the
 // server's topology (NodeIDs of hosts).
@@ -56,6 +67,32 @@ type EventSpec struct {
 	Flows []FlowSpec `json:"flows"`
 }
 
+// FaultSpec is a fault injection requested over the wire. Action is one
+// of the internal/fault action names ("link-down", "link-up",
+// "switch-down", "switch-up", "install-timeout").
+type FaultSpec struct {
+	Action string `json:"action"`
+	// Link targets link-down/link-up; Node targets switch-down/switch-up.
+	Link int `json:"link,omitempty"`
+	Node int `json:"node,omitempty"`
+	// Event and Times parameterize install-timeout: which event's
+	// installs fail (0 = next executed) and how many times.
+	Event int64 `json:"event,omitempty"`
+	Times int   `json:"times,omitempty"`
+}
+
+// FaultResult reports what an injected fault did.
+type FaultResult struct {
+	Action        string `json:"action"`
+	LinksChanged  int    `json:"links_changed"`
+	FlowsAffected int    `json:"flows_affected"`
+	// RepairEventID is the update event minted to re-admit disrupted
+	// flows (0 when nothing was disrupted).
+	RepairEventID int64 `json:"repair_event_id,omitempty"`
+	// LinksDown is the number of failed links after the injection.
+	LinksDown int `json:"links_down"`
+}
+
 // Request is one client->server message.
 type Request struct {
 	Op Op `json:"op"`
@@ -66,6 +103,38 @@ type Request struct {
 	// N accompanies OpTrace: how many trailing records to return
 	// (<= 0 means all retained).
 	N int `json:"n,omitempty"`
+	// Fault accompanies OpFault.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// ParseRequest decodes and shape-checks one request frame. It is the
+// single entry point for untrusted bytes (the server's connection handler
+// and the fuzz target both go through it): malformed JSON, unknown ops
+// and missing per-op payloads all return an error wrapping ErrBadRequest;
+// no input may panic. Semantic validation against the server's topology
+// (node/link ranges) happens later, in the state loop.
+func ParseRequest(data []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if !knownOps[req.Op] {
+		return nil, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
+	}
+	switch req.Op {
+	case OpSubmit:
+		if req.Event == nil {
+			return nil, fmt.Errorf("%w: submit without event", ErrBadRequest)
+		}
+	case OpFault:
+		if req.Fault == nil {
+			return nil, fmt.Errorf("%w: fault without spec", ErrBadRequest)
+		}
+		if req.Fault.Times < 0 || req.Fault.Event < 0 {
+			return nil, fmt.Errorf("%w: negative fault parameters", ErrBadRequest)
+		}
+	}
+	return &req, nil
 }
 
 // EventState is an event's lifecycle stage.
@@ -112,6 +181,13 @@ type Stats struct {
 	ProbeHitRate     float64 `json:"probe_hit_rate"`
 	// Rounds is the number of scheduling rounds executed so far.
 	Rounds int64 `json:"rounds"`
+	// Fault-injection and recovery telemetry.
+	FaultsInjected   int `json:"faults_injected"`
+	LinksDown        int `json:"links_down"`
+	RepairEvents     int `json:"repair_events"`
+	FlowsDisrupted   int `json:"flows_disrupted"`
+	InstallRetries   int `json:"install_retries"`
+	InstallRollbacks int `json:"install_rollbacks"`
 }
 
 // Response is one server->client message.
@@ -130,6 +206,8 @@ type Response struct {
 	Snapshot *snapshot.Snapshot `json:"snapshot,omitempty"`
 	// Trace answers OpTrace (oldest record first).
 	Trace []obs.Record `json:"trace,omitempty"`
+	// Fault answers OpFault.
+	Fault *FaultResult `json:"fault,omitempty"`
 }
 
 // Protocol-level errors.

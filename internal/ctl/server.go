@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"netupdate/internal/core"
+	"netupdate/internal/fault"
 	"netupdate/internal/flow"
 	"netupdate/internal/obs"
 	"netupdate/internal/sched"
@@ -165,11 +166,20 @@ func (s *Server) handleConn(conn net.Conn) {
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF, closed connection, or garbage: drop the client
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return // EOF, closed connection, or unframeable garbage: drop
 		}
-		resp := s.dispatch(req)
+		req, err := ParseRequest(raw)
+		if err != nil {
+			// Well-framed JSON but a bad request: answer the error and
+			// keep the connection.
+			if encErr := enc.Encode(Response{OK: false, Error: err.Error()}); encErr != nil {
+				return
+			}
+			continue
+		}
+		resp := s.dispatch(*req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -298,10 +308,44 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 			ProbeCacheMisses: met.ProbeMisses.Value(),
 			ProbeHitRate:     met.ProbeHitRate.Value(),
 			Rounds:           met.Rounds.Value(),
+			FaultsInjected:   col.FaultsInjected,
+			LinksDown:        s.engine.LinksDown(),
+			RepairEvents:     col.RepairEvents,
+			FlowsDisrupted:   col.FlowsDisrupted,
+			InstallRetries:   col.InstallRetries,
+			InstallRollbacks: col.InstallRollbacks,
 		}}
 
 	case OpTrace:
 		return Response{OK: true, Trace: s.ring.Last(req.N)}
+
+	case OpFault:
+		out, err := s.engine.InjectFault(fault.Injection{
+			At:     s.engine.Clock(),
+			Action: fault.Action(req.Fault.Action),
+			Link:   req.Fault.Link,
+			Node:   req.Fault.Node,
+			Event:  req.Fault.Event,
+			Times:  req.Fault.Times,
+		})
+		if err != nil {
+			return Response{OK: false, Error: fmt.Sprintf("%v: %v", ErrBadRequest, err)}
+		}
+		res := &FaultResult{
+			Action:        string(out.Action),
+			LinksChanged:  out.LinksChanged,
+			FlowsAffected: out.FlowsAffected,
+			LinksDown:     out.LinksDown,
+		}
+		// A minted repair event joins the event table so status/results
+		// report its recovery like any submitted event.
+		if ev := out.RepairEvent; ev != nil {
+			id := int64(ev.ID)
+			events[id] = ev
+			*order = append(*order, id)
+			res.RepairEventID = id
+		}
+		return Response{OK: true, Fault: res}
 
 	default:
 		return Response{OK: false, Error: fmt.Sprintf("%v: unknown op %q", ErrBadRequest, req.Op)}

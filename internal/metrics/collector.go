@@ -31,6 +31,12 @@ type EventRecord struct {
 	// PlanEvals is the planning work attributable to this event
 	// (decision probes are accounted separately on the Collector).
 	PlanEvals int
+	// Retries counts rule-install attempts that timed out (injected
+	// faults) before the event's installs finally went through.
+	Retries int
+	// RolledBack marks an event whose installs exhausted the retry budget:
+	// its bandwidth plan was reverted and all specs recorded as failed.
+	RolledBack bool
 }
 
 // ECT is the event completion time (completion - arrival).
@@ -60,6 +66,18 @@ type Collector struct {
 	ProbeResyncs int
 	// ProbeWallTime is real (not simulated) wall-clock time spent probing.
 	ProbeWallTime time.Duration
+	// FaultsInjected counts fault injections applied to the run.
+	FaultsInjected int
+	// RepairEvents counts update events minted from link/switch failures
+	// (disrupted flows re-admitted through the normal scheduling path).
+	RepairEvents int
+	// FlowsDisrupted counts placed flows withdrawn by link/switch failures.
+	FlowsDisrupted int
+	// InstallRetries counts timed-out rule-install attempts that were
+	// retried with backoff; InstallRollbacks counts events rolled back
+	// after exhausting the retry budget.
+	InstallRetries   int
+	InstallRollbacks int
 }
 
 // ProbeHitRate returns the probe cache hit rate, 0 when no probes ran.

@@ -1,0 +1,84 @@
+package netstate
+
+import (
+	"errors"
+	"testing"
+
+	"netupdate/internal/topology"
+)
+
+func TestFailLinksReturnsAffectedFlows(t *testing.T) {
+	n, ft := newTestNetwork(t)
+	f := mustAdd(t, n, ft.Host(0, 0, 0), ft.Host(1, 0, 0), 400*topology.Mbps)
+	path, err := n.PlaceBest(f)
+	if err != nil {
+		t.Fatalf("PlaceBest: %v", err)
+	}
+	// A second flow in a different pod pair that shares no link with f's
+	// path must not appear in the affected set.
+	other := mustAdd(t, n, ft.Host(2, 0, 0), ft.Host(2, 1, 0), 100*topology.Mbps)
+	if _, err := n.PlaceBest(other); err != nil {
+		t.Fatalf("PlaceBest(other): %v", err)
+	}
+
+	failed := path.Links()[:1]
+	affected, changed := n.FailLinks(failed)
+	if changed != 1 {
+		t.Errorf("FailLinks changed = %d, want 1", changed)
+	}
+	if len(affected) != 1 || affected[0].ID != f.ID {
+		t.Errorf("affected = %v, want exactly flow %v", affected, f.ID)
+	}
+	if !n.Graph().Link(failed[0]).Down() {
+		t.Error("link not marked down")
+	}
+	// The flow's reservation persists until the fault layer withdraws it.
+	if got := n.Graph().Link(failed[0]).Reserved(); got != 400*topology.Mbps {
+		t.Errorf("down link reserved = %v, want 400Mbps", got)
+	}
+	// Withdraw still works across the down link.
+	if err := n.Withdraw(f); err != nil {
+		t.Fatalf("Withdraw across down link: %v", err)
+	}
+	if got := n.Graph().Link(failed[0]).Reserved(); got != 0 {
+		t.Errorf("down link reserved after withdraw = %v, want 0", got)
+	}
+}
+
+func TestFailLinksIdempotentAndRestore(t *testing.T) {
+	n, ft := newTestNetwork(t)
+	up, ok := n.Graph().LinkBetween(ft.Host(0, 0, 0), ft.Edge(0, 0))
+	if !ok {
+		t.Fatal("no host uplink")
+	}
+	links := []topology.LinkID{up}
+
+	if _, changed := n.FailLinks(links); changed != 1 {
+		t.Fatal("first FailLinks did not change state")
+	}
+	if _, changed := n.FailLinks(links); changed != 0 {
+		t.Error("second FailLinks on a down link reported a change")
+	}
+	if got := n.Graph().NumLinksDown(); got != 1 {
+		t.Errorf("NumLinksDown = %d, want 1", got)
+	}
+
+	// While down, placement over the link is impossible.
+	f := mustAdd(t, n, ft.Host(0, 0, 0), ft.Host(1, 0, 0), topology.Mbps)
+	if _, err := n.PlaceBest(f); !errors.Is(err, ErrNoFeasiblePath) {
+		t.Errorf("PlaceBest over down uplink: err = %v, want ErrNoFeasiblePath", err)
+	}
+
+	if changed := n.RestoreLinks(links); changed != 1 {
+		t.Error("RestoreLinks did not change state")
+	}
+	if changed := n.RestoreLinks(links); changed != 0 {
+		t.Error("RestoreLinks on an up link reported a change")
+	}
+	if got := n.Graph().NumLinksDown(); got != 0 {
+		t.Errorf("NumLinksDown after restore = %d, want 0", got)
+	}
+	if _, err := n.PlaceBest(f); err != nil {
+		t.Errorf("PlaceBest after restore: %v", err)
+	}
+}

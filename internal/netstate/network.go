@@ -295,6 +295,35 @@ func (n *Network) FlowsAcross(links []topology.LinkID, exclude flow.EventID) []*
 	return out
 }
 
+// FailLinks marks the given links down and returns the placed flows that
+// were traversing any of them (deduplicated, ID-sorted) together with how
+// many links actually changed state. The flows are NOT withdrawn: their
+// reservations still sit on the dead links, and the caller (the fault
+// layer) decides whether to reroute, re-admit or drop them. Marking a
+// link down bumps the graph epoch, so probe caches and forks
+// self-invalidate.
+func (n *Network) FailLinks(links []topology.LinkID) (affected []*flow.Flow, changed int) {
+	affected = n.FlowsAcross(links, flow.NoEvent)
+	for _, l := range links {
+		if n.graph.SetLinkDown(l, true) {
+			changed++
+		}
+	}
+	return affected, changed
+}
+
+// RestoreLinks marks the given links up again and returns how many
+// actually changed state. Restored capacity becomes visible to the next
+// scheduling round; no flows move automatically.
+func (n *Network) RestoreLinks(links []topology.LinkID) (changed int) {
+	for _, l := range links {
+		if n.graph.SetLinkDown(l, false) {
+			changed++
+		}
+	}
+	return changed
+}
+
 // Utilization returns the overall link utilization of the graph.
 func (n *Network) Utilization() float64 { return n.graph.Utilization() }
 

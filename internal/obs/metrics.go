@@ -322,6 +322,13 @@ type SimMetrics struct {
 	ECT          *Histogram
 	QueuingDelay *Histogram
 	LinkUtil     *Distribution
+
+	FaultsInjected   *Counter
+	LinksDown        *Gauge
+	RepairEvents     *Counter
+	FlowsDisrupted   *Counter
+	InstallRetries   *Counter
+	InstallRollbacks *Counter
 }
 
 // NewSimMetrics registers the full engine metric set under the
@@ -345,6 +352,13 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		ECT:          r.NewDurationHistogram("netupdate_ect_ns", "Event completion time (completion - arrival), ns."),
 		QueuingDelay: r.NewDurationHistogram("netupdate_queuing_delay_ns", "Event queuing delay (start - arrival), ns."),
 		LinkUtil:     r.NewDistribution("netupdate_link_utilization", "Current per-link utilization distribution.", utilBounds),
+
+		FaultsInjected:   r.NewCounter("netupdate_faults_injected_total", "Fault injections applied to the run."),
+		LinksDown:        r.NewGauge("netupdate_links_down", "Links currently failed."),
+		RepairEvents:     r.NewCounter("netupdate_repair_events_total", "Update events minted from link/switch failures."),
+		FlowsDisrupted:   r.NewCounter("netupdate_flows_disrupted_total", "Placed flows withdrawn by link/switch failures."),
+		InstallRetries:   r.NewCounter("netupdate_install_retries_total", "Rule-install attempts that timed out and were retried."),
+		InstallRollbacks: r.NewCounter("netupdate_install_rollbacks_total", "Events rolled back after exhausting the install retry budget."),
 	}
 }
 

@@ -35,6 +35,8 @@ const (
 	KindSpan = "span"
 	// KindRound reports one scheduling round.
 	KindRound = "round"
+	// KindFault marks a fault injection being applied to the run.
+	KindFault = "fault"
 )
 
 // Record is one trace entry. Exactly one payload pointer is non-nil,
@@ -49,6 +51,7 @@ type Record struct {
 	Arrival *ArrivalRecord `json:"arrival,omitempty"`
 	Round   *RoundRecord   `json:"round,omitempty"`
 	Span    *SpanRecord    `json:"span,omitempty"`
+	Fault   *FaultRecord   `json:"fault,omitempty"`
 }
 
 // RunRecord opens a run: one per Engine.Run with a tracer attached.
@@ -111,6 +114,11 @@ type LaneClaim struct {
 	Evals int `json:"evals"`
 	// CompletionVT is the lane's completion virtual time (ns).
 	CompletionVT int64 `json:"completion_vt"`
+	// Retries counts injected rule-install timeouts the lane absorbed
+	// before its installs succeeded; RolledBack marks a lane whose
+	// installs exhausted the retry budget and was fully reverted.
+	Retries    int  `json:"retries,omitempty"`
+	RolledBack bool `json:"rolled_back,omitempty"`
 }
 
 // RoundRecord reports one scheduling round. Its VT is the round start.
@@ -162,6 +170,30 @@ type SpanRecord struct {
 	// Opportunistic reports whether the event ran as a co-scheduled
 	// lane rather than as the round head.
 	Opportunistic bool `json:"opportunistic,omitempty"`
+	// Retries counts injected rule-install timeouts absorbed before the
+	// event's installs succeeded; RolledBack marks an event whose
+	// installs exhausted the retry budget and whose bandwidth plan was
+	// reverted (all specs then count as failed).
+	Retries    int  `json:"retries,omitempty"`
+	RolledBack bool `json:"rolled_back,omitempty"`
+}
+
+// FaultRecord reports one applied fault injection.
+type FaultRecord struct {
+	// Action is the fault kind ("link-down", "install-timeout", ...).
+	Action string `json:"action"`
+	// Link / Node identify the target for link and switch faults.
+	Link int `json:"link,omitempty"`
+	Node int `json:"node,omitempty"`
+	// FlowsAffected counts placed flows withdrawn by the failure.
+	FlowsAffected int `json:"flows_affected,omitempty"`
+	// RepairEvent is the ID of the update event minted to re-admit the
+	// disrupted flows (0 when none was needed).
+	RepairEvent int64 `json:"repair_event,omitempty"`
+	// LinksDown is the total number of failed links after this injection.
+	LinksDown int `json:"links_down"`
+	// Times is the armed timeout count for install-timeout injections.
+	Times int `json:"times,omitempty"`
 }
 
 // Tracer binds a Sink and a SimMetrics set; either may be nil. The
@@ -225,8 +257,28 @@ func (t *Tracer) EventComplete(vt int64, s SpanRecord) {
 		t.met.FlowsFailed.Add(int64(s.Failed))
 		t.met.ECT.Observe(s.ECTNs)
 		t.met.QueuingDelay.Observe(s.QueuingNs)
+		if s.Retries > 0 {
+			t.met.InstallRetries.Add(int64(s.Retries))
+		}
+		if s.RolledBack {
+			t.met.InstallRollbacks.Inc()
+		}
 	}
 	t.emit(&Record{Kind: KindSpan, VT: vt, Span: &s})
+}
+
+// Fault records an applied fault injection and bumps the recovery
+// counters.
+func (t *Tracer) Fault(vt int64, f FaultRecord) {
+	if t.met != nil {
+		t.met.FaultsInjected.Inc()
+		t.met.LinksDown.Set(int64(f.LinksDown))
+		if f.RepairEvent != 0 {
+			t.met.RepairEvents.Inc()
+		}
+		t.met.FlowsDisrupted.Add(int64(f.FlowsAffected))
+	}
+	t.emit(&Record{Kind: KindFault, VT: vt, Fault: &f})
 }
 
 // Flush flushes the sink, if any.

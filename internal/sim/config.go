@@ -89,6 +89,15 @@ type Config struct {
 	// parallelism, not simulated time — the schedule is identical at every
 	// setting; only wall-clock planning speed changes.
 	Probes int
+	// InstallRetryBase and InstallRetryCap shape the capped exponential
+	// backoff after a timed-out rule install: retry i waits
+	// min(Base << (i-1), Cap) before re-attempting (defaults 25ms / 200ms).
+	InstallRetryBase time.Duration
+	InstallRetryCap  time.Duration
+	// MaxInstallRetries bounds install retries per event (default 3);
+	// when timeouts persist past the budget, the event's bandwidth plan is
+	// rolled back and all its specs recorded as failed.
+	MaxInstallRetries int
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -105,7 +114,35 @@ func (c Config) withDefaults() Config {
 	if c.Mode == 0 {
 		c.Mode = InstallOnly
 	}
+	if c.InstallRetryBase == 0 {
+		c.InstallRetryBase = 25 * time.Millisecond
+	}
+	if c.InstallRetryCap == 0 {
+		c.InstallRetryCap = 200 * time.Millisecond
+	}
+	if c.MaxInstallRetries == 0 {
+		c.MaxInstallRetries = 3
+	}
 	return c
+}
+
+// retryBackoff is the wait before install retry i (1-based): capped
+// exponential, min(Base << (i-1), Cap).
+func (c Config) retryBackoff(i int) time.Duration {
+	d := c.InstallRetryBase << (i - 1)
+	if d > c.InstallRetryCap || d <= 0 { // <= 0 guards shift overflow
+		d = c.InstallRetryCap
+	}
+	return d
+}
+
+// totalBackoff sums the backoff waits of n retries.
+func (c Config) totalBackoff(n int) time.Duration {
+	var total time.Duration
+	for i := 1; i <= n; i++ {
+		total += c.retryBackoff(i)
+	}
+	return total
 }
 
 // migrationTime converts migrated traffic into simulated time.

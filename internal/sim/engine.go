@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"netupdate/internal/core"
+	"netupdate/internal/fault"
+	"netupdate/internal/flow"
 	"netupdate/internal/metrics"
 	"netupdate/internal/migration"
 	"netupdate/internal/obs"
@@ -32,6 +34,16 @@ type Engine struct {
 	releases  releaseHeap
 	collector *metrics.Collector
 	churn     *churner
+
+	// injector replays a scripted fault schedule against the virtual
+	// clock (nil = no faults); timeouts holds armed install-timeout
+	// injections waiting for their event to execute.
+	injector *fault.Injector
+	timeouts []timeoutArm
+	// dropped marks flows withdrawn by failures whose scheduled releases
+	// must become no-ops; repairSeq numbers minted repair events.
+	dropped   map[flow.ID]struct{}
+	repairSeq int64
 
 	// obs is the optional observability tracer (nil = disabled; every
 	// instrumentation hook below reduces to one nil check).
@@ -97,13 +109,17 @@ func (e *Engine) Run(events []*core.Event) (*metrics.Collector, error) {
 	}
 
 	for {
+		if err := e.applyDueFaults(); err != nil {
+			return nil, err
+		}
 		e.admitArrivals()
 		if e.queue.Len() == 0 {
-			if len(e.pending) == 0 {
+			next, ok := e.nextWakeup()
+			if !ok {
 				break
 			}
-			// Idle until the next arrival.
-			e.advanceTo(e.pending[0].Arrival)
+			// Idle until the next arrival or scripted fault.
+			e.advanceTo(next)
 			continue
 		}
 		if _, err := e.Step(); err != nil {
@@ -125,8 +141,13 @@ func (e *Engine) Enqueue(ev *core.Event) {
 }
 
 // Step runs one scheduling round if the queue is non-empty and reports
-// whether it did any work.
+// whether it did any work. Scripted faults due at the current clock are
+// applied first; a failure can therefore mint a repair event and make an
+// otherwise empty queue schedulable.
 func (e *Engine) Step() (bool, error) {
+	if err := e.applyDueFaults(); err != nil {
+		return false, err
+	}
 	if e.queue.Len() == 0 {
 		return false, nil
 	}
@@ -134,6 +155,19 @@ func (e *Engine) Step() (bool, error) {
 		return false, err
 	}
 	return true, nil
+}
+
+// nextWakeup returns the next virtual time something happens while the
+// queue is idle: a pending arrival or a scripted fault injection.
+func (e *Engine) nextWakeup() (time.Duration, bool) {
+	next, ok := time.Duration(0), false
+	if len(e.pending) > 0 {
+		next, ok = e.pending[0].Arrival, true
+	}
+	if at, faultOK := e.nextFaultAt(); faultOK && (!ok || at < next) {
+		next, ok = at, true
+	}
+	return next, ok
 }
 
 // installTime returns how long one admission's rule installation takes.
@@ -197,9 +231,15 @@ func (e *Engine) advanceTo(t time.Duration) {
 }
 
 // processReleases removes event flows whose transfers finished by t.
+// Flows a failure already dropped are skipped: their release became a
+// no-op the moment the fault layer withdrew them.
 func (e *Engine) processReleases(t time.Duration) {
 	for len(e.releases) > 0 && e.releases[0].at <= t {
 		rel := heap.Pop(&e.releases).(release)
+		if _, gone := e.dropped[rel.f.ID]; gone {
+			delete(e.dropped, rel.f.ID)
+			continue
+		}
 		if err := e.planner.Network().Remove(rel.f); err != nil {
 			panic(fmt.Sprintf("sim: releasing finished flow: %v", err))
 		}
@@ -376,20 +416,54 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 	}
 	migTime := e.cfg.migrationTime(res.Cost)
 
-	completion := laneStart + lanePlan + migTime
-	cursor := completion
-	for _, adm := range res.Admitted {
-		cursor += e.installTime(adm)
-		installed := cursor
-		if installed > completion {
-			completion = installed
+	// Armed install-timeout injections: each timed-out attempt burns one
+	// full install pass, then waits the capped exponential backoff before
+	// the next try. Past the retry budget the whole event is rolled back
+	// (bandwidth plan reverted, every spec recorded failed).
+	failTimes := e.takeTimeout(ev.ID)
+	rolledBack := failTimes > e.cfg.MaxInstallRetries
+	retries := failTimes
+	if rolledBack {
+		retries = e.cfg.MaxInstallRetries
+	}
+	var retryDelay time.Duration
+	if failTimes > 0 {
+		var installSum time.Duration
+		for _, adm := range res.Admitted {
+			installSum += e.installTime(adm)
 		}
-		transferred := installed + adm.Flow.TransferTime()
-		if e.cfg.Mode == InstallPlusTransfer && transferred > completion {
-			completion = transferred
+		timedOut := retries
+		if rolledBack {
+			timedOut++ // the final attempt timed out too; nothing succeeded
 		}
-		if !e.cfg.KeepFlows {
-			heap.Push(&e.releases, release{at: transferred, f: adm.Flow})
+		retryDelay = time.Duration(timedOut)*installSum + e.cfg.totalBackoff(retries)
+		e.collector.InstallRetries += retries
+	}
+
+	completion := laneStart + lanePlan + migTime + retryDelay
+	flows, failed := len(res.Admitted), res.Failed
+	if rolledBack {
+		if err := e.planner.RollbackExec(res); err != nil {
+			return 0, fmt.Errorf("sim: rolling back %v: %w", ev, err)
+		}
+		ev.FailedSpecs = ev.Specs
+		flows, failed = 0, len(ev.Specs)
+		e.collector.InstallRollbacks++
+	} else {
+		cursor := completion
+		for _, adm := range res.Admitted {
+			cursor += e.installTime(adm)
+			installed := cursor
+			if installed > completion {
+				completion = installed
+			}
+			transferred := installed + adm.Flow.TransferTime()
+			if e.cfg.Mode == InstallPlusTransfer && transferred > completion {
+				completion = transferred
+			}
+			if !e.cfg.KeepFlows {
+				heap.Push(&e.releases, release{at: transferred, f: adm.Flow})
+			}
 		}
 	}
 
@@ -400,23 +474,27 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 	e.collector.Add(metrics.EventRecord{
 		Event:      ev.ID,
 		Kind:       ev.Kind,
-		Flows:      len(res.Admitted),
-		Failed:     res.Failed,
+		Flows:      flows,
+		Failed:     failed,
 		Arrival:    ev.Arrival,
 		Start:      ev.Start,
 		Completion: ev.Completion,
 		Cost:       res.Cost,
 		PlanEvals:  res.Evals,
+		Retries:    retries,
+		RolledBack: rolledBack,
 	})
 	if rr := e.curRound; rr != nil {
 		opportunistic := len(rr.Claims) > 0 // the head's claim is always first
 		rr.Claims = append(rr.Claims, obs.LaneClaim{
 			Event:        int64(ev.ID),
-			Flows:        len(res.Admitted),
-			Failed:       res.Failed,
+			Flows:        flows,
+			Failed:       failed,
 			CostBps:      int64(res.Cost),
 			Evals:        res.Evals,
 			CompletionVT: int64(completion),
+			Retries:      retries,
+			RolledBack:   rolledBack,
 		})
 		e.obs.EventComplete(int64(completion), obs.SpanRecord{
 			Event:         int64(ev.ID),
@@ -427,10 +505,12 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 			CompletionVT:  int64(ev.Completion),
 			QueuingNs:     int64(ev.QueuingDelay()),
 			ECTNs:         int64(ev.ECT()),
-			Flows:         len(res.Admitted),
-			Failed:        res.Failed,
+			Flows:         flows,
+			Failed:        failed,
 			CostBps:       int64(res.Cost),
 			Opportunistic: opportunistic,
+			Retries:       retries,
+			RolledBack:    rolledBack,
 		})
 	}
 	return completion, nil

@@ -140,6 +140,9 @@ func (g *Graph) Reserve(id LinkID, bw Bandwidth) error {
 		return fmt.Errorf("reserve on %v: %w", id, ErrNegativeBandwidth)
 	}
 	l := &g.links[id]
+	if l.down {
+		return fmt.Errorf("reserve %v on %v: %w", bw, l, ErrLinkDown)
+	}
 	if l.Residual() < bw {
 		return fmt.Errorf("reserve %v on %v (residual %v): %w",
 			bw, l, l.Residual(), ErrInsufficientBandwidth)
@@ -201,9 +204,47 @@ func (g *Graph) SwitchUtilization() float64 {
 	return float64(used) / float64(total)
 }
 
+// SetLinkDown marks a link failed (down=true) or repaired (down=false)
+// and reports whether the state actually changed. A change bumps the
+// graph epoch and the link's version exactly like a reservation change,
+// so probe-cost caches whose read sets include the link revalidate
+// instead of replaying stale estimates, and probe forks resync before
+// their next use.
+func (g *Graph) SetLinkDown(id LinkID, down bool) bool {
+	l := &g.links[id]
+	if l.down == down {
+		return false
+	}
+	l.down = down
+	g.epoch++
+	l.version = g.epoch
+	return true
+}
+
+// NumLinksDown counts currently failed links.
+func (g *Graph) NumLinksDown() int {
+	n := 0
+	for i := range g.links {
+		if g.links[i].down {
+			n++
+		}
+	}
+	return n
+}
+
+// IncidentLinks returns every directed link touching node n (outgoing
+// then incoming) — the set a switch failure takes down.
+func (g *Graph) IncidentLinks(n NodeID) []LinkID {
+	out := make([]LinkID, 0, len(g.out[n])+len(g.in[n]))
+	out = append(out, g.out[n]...)
+	out = append(out, g.in[n]...)
+	return out
+}
+
 // Epoch returns the graph-wide reservation-change counter. It increases
-// by exactly one on every successful Reserve or Release, so an unchanged
-// epoch guarantees unchanged residual bandwidth on every link.
+// by exactly one on every successful Reserve or Release (and on every
+// link up/down transition), so an unchanged epoch guarantees unchanged
+// residual bandwidth on every link.
 func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // MaxVersion returns the largest link version across the given links.

@@ -29,6 +29,9 @@ var (
 	// ErrNegativeBandwidth is returned when a negative capacity or demand
 	// reaches the bookkeeping layer.
 	ErrNegativeBandwidth = errors.New("negative bandwidth")
+	// ErrLinkDown is returned by Reserve on a failed link. Fault injection
+	// marks links down; recovery marks them up again.
+	ErrLinkDown = errors.New("link down")
 )
 
 // Link is a directed, capacitated edge of the network graph. Physical
@@ -54,6 +57,12 @@ type Link struct {
 	// version over any link set changes iff some link in the set changed.
 	// Probe-cost caches rely on this to validate cached estimates.
 	version uint64
+	// down marks a failed link (fault injection). A down link reports zero
+	// residual and rejects reservations; existing reservations persist
+	// until the failure handler withdraws the affected flows. State
+	// changes go through Graph.SetLinkDown so they bump the epoch like any
+	// other reservation-visible change.
+	down bool
 }
 
 // Reserved returns the bandwidth currently reserved on the link.
@@ -63,8 +72,18 @@ func (l *Link) Reserved() Bandwidth { return l.reserved }
 // (zero if it was never touched).
 func (l *Link) Version() uint64 { return l.version }
 
-// Residual returns the bandwidth still available on the link.
-func (l *Link) Residual() Bandwidth { return l.Capacity - l.reserved }
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
+
+// Residual returns the bandwidth still available on the link. A down link
+// has no usable bandwidth, so planning and placement route around it
+// without any routing-layer special casing.
+func (l *Link) Residual() Bandwidth {
+	if l.down {
+		return 0
+	}
+	return l.Capacity - l.reserved
+}
 
 // Utilization returns reserved/capacity in [0,1]. A zero-capacity link
 // reports utilization 0.
