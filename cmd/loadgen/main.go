@@ -1,0 +1,368 @@
+// Command loadgen is an open-loop load generator for the update
+// controller (cmd/updated): it offers update events at a configured
+// Poisson rate regardless of how fast the server absorbs them, submits
+// them in batches over concurrent connections, and reports sustained
+// throughput and the overload-rejection rate.
+//
+// Usage:
+//
+//	loadgen -addr host:7421 -rate 500 -duration 10s [-conns 4] [-batch 16]
+//	loadgen -selfhost -rate 2000 -duration 5s -watermark 64 -json
+//
+// With -addr, events target an already-running daemon; host endpoints
+// are discovered from its snapshot. With -selfhost, loadgen spins up an
+// in-process controller (same construction as cmd/updated) and drives
+// it over loopback — handy for smoke tests and benchmarks.
+//
+// Being open-loop, the arrival process never waits for the server: if
+// every connection is busy when a batch becomes due, the batch is shed
+// client-side and counted as dropped rather than delaying later
+// arrivals. With -retries > 0, overload-rejected events are resubmitted
+// with capped exponential backoff honoring the server's retry-after
+// hint; with -retries 0 a rejection is final and counts toward the
+// rejection rate.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	netpkg "net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/ctl"
+	"netupdate/internal/migration"
+	"netupdate/internal/netstate"
+	"netupdate/internal/routing"
+	"netupdate/internal/sched"
+	"netupdate/internal/sim"
+	"netupdate/internal/topology"
+	"netupdate/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// summary is the generator's end-of-run report, printed as JSON with
+// -json (the shape scripts/bench.sh embeds) or as text otherwise.
+type summary struct {
+	RateTarget  float64 `json:"rate_target"`
+	DurationSec float64 `json:"duration_sec"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	// Offered = events the arrival process generated; Submitted = those
+	// that reached the wire (offered minus dropped); Accepted/Rejected/
+	// Invalid are per-event outcomes; Dropped were shed client-side.
+	Offered   int64 `json:"offered"`
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Invalid   int64 `json:"invalid"`
+	Dropped   int64 `json:"dropped"`
+	// AcceptedPerSec is the sustained ingest rate; RejectionRate is
+	// rejected over submitted.
+	AcceptedPerSec float64 `json:"accepted_per_sec"`
+	RejectionRate  float64 `json:"rejection_rate"`
+	// Server echoes the controller's stats after the run (ingest
+	// counters, queue depth, scheduler) when the stats call succeeded.
+	Server *ctl.Stats `json:"server,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "controller address (empty with -selfhost)")
+		selfhost = fs.Bool("selfhost", false, "run an in-process controller and drive it over loopback")
+		rate     = fs.Float64("rate", 100, "offered load, events/sec (Poisson arrivals)")
+		duration = fs.Duration("duration", 5*time.Second, "how long to offer load")
+		conns    = fs.Int("conns", 4, "concurrent submitting connections")
+		batchSz  = fs.Int("batch", 16, "events per submit-batch request")
+		retries  = fs.Int("retries", 0, "max submit attempts per batch on overload (0 or 1 = no retry)")
+		seed     = fs.Int64("seed", 1, "random seed for arrivals and event specs")
+		minFlows = fs.Int("min-flows", 1, "flows per event, lower bound")
+		maxFlows = fs.Int("max-flows", 4, "flows per event, upper bound")
+		demand   = fs.Int64("demand-mbps", 5, "per-flow demand in Mbps")
+		jsonOut  = fs.Bool("json", false, "print the summary as JSON")
+
+		// Selfhost controller shape (mirrors cmd/updated).
+		schedName = fs.String("scheduler", "p-lmtf", "selfhost: scheduling policy (see sched.Names)")
+		alpha     = fs.Int("alpha", 4, "selfhost: LMTF/P-LMTF sample size")
+		k         = fs.Int("k", 4, "selfhost: fat-tree arity")
+		util      = fs.Float64("util", 0.3, "selfhost: background utilization target")
+		watermark = fs.Int("watermark", ctl.DefaultHighWatermark, "selfhost: queue high-watermark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*addr == "") == !*selfhost {
+		fmt.Fprintln(os.Stderr, "loadgen: need exactly one of -addr or -selfhost")
+		return 2
+	}
+	if *rate <= 0 || *batchSz < 1 || *conns < 1 || *minFlows < 1 || *maxFlows < *minFlows {
+		fmt.Fprintln(os.Stderr, "loadgen: bad load shape (rate/batch/conns/flows)")
+		return 2
+	}
+
+	target := *addr
+	if *selfhost {
+		srv, laddr, err := startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: selfhost close: %v\n", err)
+			}
+		}()
+		target = laddr
+		fmt.Fprintf(os.Stderr, "loadgen: selfhost controller on %s\n", laddr)
+	}
+
+	hosts, err := discoverHosts(target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	var accepted, rejected, invalid atomic.Int64
+	work := make(chan []ctl.EventSpec, *conns*4)
+	var wg sync.WaitGroup
+	workerErr := make(chan error, *conns)
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := ctl.Dial(target)
+			if err != nil {
+				workerErr <- err
+				// Drain so the generator never blocks on a dead worker's
+				// share of the channel.
+				for range work {
+				}
+				return
+			}
+			defer c.Close()
+			for batch := range work {
+				submitBatch(c, batch, *retries, &accepted, &rejected, &invalid)
+			}
+		}()
+	}
+
+	// Open-loop arrival process: exponential gaps at the target rate,
+	// scheduled against absolute time so slow submissions never stretch
+	// the offered load.
+	rng := rand.New(rand.NewSource(*seed))
+	var offered, dropped int64
+	start := time.Now()
+	next := start
+	var pending []ctl.EventSpec
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := make([]ctl.EventSpec, len(pending))
+		copy(batch, pending)
+		pending = pending[:0]
+		select {
+		case work <- batch:
+		default:
+			dropped += int64(len(batch))
+		}
+	}
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / *rate * float64(time.Second)))
+		if next.Sub(start) > *duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		offered++
+		pending = append(pending, randomEvent(rng, hosts, *minFlows, *maxFlows, *demand))
+		if len(pending) >= *batchSz {
+			flush()
+		}
+	}
+	flush()
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(workerErr)
+	for err := range workerErr {
+		fmt.Fprintf(os.Stderr, "loadgen: worker: %v\n", err)
+	}
+
+	sum := summary{
+		RateTarget:  *rate,
+		DurationSec: duration.Seconds(),
+		ElapsedSec:  elapsed.Seconds(),
+		Offered:     offered,
+		Submitted:   offered - dropped,
+		Accepted:    accepted.Load(),
+		Rejected:    rejected.Load(),
+		Invalid:     invalid.Load(),
+		Dropped:     dropped,
+	}
+	if elapsed > 0 {
+		sum.AcceptedPerSec = float64(sum.Accepted) / elapsed.Seconds()
+	}
+	if sum.Submitted > 0 {
+		sum.RejectionRate = float64(sum.Rejected) / float64(sum.Submitted)
+	}
+	if c, err := ctl.Dial(target); err == nil {
+		if stats, err := c.Stats(); err == nil {
+			sum.Server = &stats
+		}
+		_ = c.Close()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "offered %d events in %.2fs (target %.0f/s)\n",
+			sum.Offered, sum.ElapsedSec, sum.RateTarget)
+		fmt.Fprintf(stdout, "accepted %d (%.1f/s), rejected %d (%.1f%%), invalid %d, dropped %d\n",
+			sum.Accepted, sum.AcceptedPerSec, sum.Rejected, 100*sum.RejectionRate,
+			sum.Invalid, sum.Dropped)
+		if s := sum.Server; s != nil {
+			fmt.Fprintf(stdout, "server: %s scheduler, %d done, %d queued, ingest %d/%d/%d accepted/rejected/retried (watermark %d)\n",
+				s.Scheduler, s.EventsDone, s.EventsQueued,
+				s.IngestAccepted, s.IngestRejected, s.IngestRetried, s.IngestWatermark)
+		}
+	}
+	if sum.Accepted == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no events accepted")
+		return 1
+	}
+	return 0
+}
+
+// submitBatch sends one batch, retrying overload rejections when asked,
+// and folds the per-event outcomes into the run counters.
+func submitBatch(c *ctl.Client, batch []ctl.EventSpec, retries int, accepted, rejected, invalid *atomic.Int64) {
+	if retries > 1 {
+		ids, err := c.SubmitBatchRetry(batch, retries)
+		var acc int64
+		for _, id := range ids {
+			if id != 0 {
+				acc++
+			}
+		}
+		accepted.Add(acc)
+		rest := int64(len(batch)) - acc
+		if rest > 0 {
+			if err != nil && !errors.Is(err, ctl.ErrOverloaded) {
+				invalid.Add(rest)
+			} else {
+				rejected.Add(rest)
+			}
+		}
+		return
+	}
+	verdicts, _, err := c.SubmitBatch(batch)
+	if err != nil {
+		rejected.Add(int64(len(batch)))
+		return
+	}
+	for _, v := range verdicts {
+		switch {
+		case v.OK:
+			accepted.Add(1)
+		case v.Overloaded:
+			rejected.Add(1)
+		default:
+			invalid.Add(1)
+		}
+	}
+}
+
+// randomEvent draws an update event between distinct hosts.
+func randomEvent(rng *rand.Rand, hosts []int, minFlows, maxFlows int, demandMbps int64) ctl.EventSpec {
+	n := minFlows
+	if maxFlows > minFlows {
+		n += rng.Intn(maxFlows - minFlows + 1)
+	}
+	spec := ctl.EventSpec{Kind: "loadgen"}
+	for i := 0; i < n; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		spec.Flows = append(spec.Flows, ctl.FlowSpec{
+			Src: src, Dst: dst, DemandBps: demandMbps * 1e6,
+		})
+	}
+	return spec
+}
+
+// discoverHosts fetches the controller's snapshot and returns its host
+// node IDs, so the generator works against any topology without flags.
+func discoverHosts(addr string) ([]int, error) {
+	c, err := ctl.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	snap, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var hosts []int
+	for i, n := range snap.Nodes {
+		if topology.NodeKind(n.Kind) == topology.KindHost {
+			hosts = append(hosts, i)
+		}
+	}
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("topology has %d hosts, need at least 2", len(hosts))
+	}
+	return hosts, nil
+}
+
+// startSelfhost builds an in-process controller (the cmd/updated
+// construction) listening on an ephemeral loopback port.
+func startSelfhost(schedName string, alpha, k int, util float64, watermark int, seed int64) (*ctl.Server, string, error) {
+	scheduler, err := sched.New(schedName, sched.WithAlpha(alpha), sched.WithSeed(seed))
+	if err != nil {
+		return nil, "", err
+	}
+	ft, err := topology.NewFatTree(k, topology.Gbps)
+	if err != nil {
+		return nil, "", err
+	}
+	net := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.NewRandomFit(seed+7))
+	gen, err := trace.NewGenerator(seed, trace.YahooLike{}, ft.Hosts())
+	if err != nil {
+		return nil, "", err
+	}
+	if util > 0 {
+		if _, err := trace.FillBackground(net, gen, util, 0); err != nil && !errors.Is(err, trace.ErrTargetUnreachable) {
+			return nil, "", err
+		}
+	}
+	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+	srv := ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(watermark))
+	l, err := netpkg.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = srv.Close()
+		return nil, "", err
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil && !errors.Is(err, ctl.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost serve: %v\n", err)
+		}
+	}()
+	return srv, l.Addr().String(), nil
+}

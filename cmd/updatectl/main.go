@@ -6,6 +6,7 @@
 //	updatectl -addr host:7421 ping
 //	updatectl -addr host:7421 stats
 //	updatectl -addr host:7421 submit trace.jsonl   # events from cmd/tracegen
+//	updatectl -addr host:7421 -batch 64 submit trace.jsonl
 //	updatectl -addr host:7421 status <event-id>
 //	updatectl -addr host:7421 results
 //	updatectl -addr host:7421 snapshot > state.json
@@ -15,6 +16,8 @@
 //
 // submit reads JSON Lines (one event per line, the cmd/tracegen format),
 // submits every event, waits for completion, and prints per-event metrics.
+// With -batch n > 1 it groups events into submit-batch requests and backs
+// off on overload rejections, honoring the server's retry-after hint.
 //
 // fault injects a failure into the running schedule: link-down/link-up
 // take -link, switch-down/switch-up take -node, install-timeout takes
@@ -44,6 +47,7 @@ func run(args []string, stdout io.Writer) int {
 	var (
 		addr    = fs.String("addr", "127.0.0.1:7421", "controller address")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-event wait timeout for submit")
+		batch   = fs.Int("batch", 1, "submit events in batches of this size (one submit-batch request each, with overload backoff)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,6 +102,9 @@ func run(args []string, stdout io.Writer) int {
 			stats.FaultsInjected, stats.LinksDown, stats.RepairEvents, stats.FlowsDisrupted)
 		fmt.Fprintf(stdout, "installs       %d retries, %d rollbacks\n",
 			stats.InstallRetries, stats.InstallRollbacks)
+		fmt.Fprintf(stdout, "ingest         %d accepted, %d rejected, %d retried, %d batches (watermark %d)\n",
+			stats.IngestAccepted, stats.IngestRejected, stats.IngestRetried,
+			stats.IngestBatches, stats.IngestWatermark)
 		return 0
 
 	case "trace":
@@ -184,7 +191,7 @@ func run(args []string, stdout io.Writer) int {
 			}()
 			in = f
 		}
-		return submitAll(client, in, stdout, *timeout)
+		return submitAll(client, in, stdout, *timeout, *batch)
 
 	case "fault":
 		if len(rest) < 2 {
@@ -233,11 +240,13 @@ type traceEvent struct {
 	} `json:"flows"`
 }
 
-// submitAll reads JSONL events, submits each, and waits for completion.
-func submitAll(client *ctl.Client, in io.Reader, stdout io.Writer, timeout time.Duration) int {
+// submitAll reads JSONL events and submits them — one request per event,
+// or in submit-batch requests of batchSize with overload backoff — then
+// waits for completion.
+func submitAll(client *ctl.Client, in io.Reader, stdout io.Writer, timeout time.Duration, batchSize int) int {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<24)
-	var ids []int64
+	var specs []ctl.EventSpec
 	for scanner.Scan() {
 		line := scanner.Bytes()
 		if len(line) == 0 {
@@ -254,16 +263,36 @@ func submitAll(client *ctl.Client, in io.Reader, stdout io.Writer, timeout time.
 				Src: f.Src, Dst: f.Dst, DemandBps: f.DemandBps, SizeBytes: f.SizeBytes,
 			})
 		}
-		id, err := client.Submit(spec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "updatectl: submit: %v\n", err)
-			return 1
-		}
-		ids = append(ids, id)
+		specs = append(specs, spec)
 	}
 	if err := scanner.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "updatectl: read trace: %v\n", err)
 		return 1
+	}
+	var ids []int64
+	if batchSize <= 1 {
+		for _, spec := range specs {
+			id, err := client.Submit(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "updatectl: submit: %v\n", err)
+				return 1
+			}
+			ids = append(ids, id)
+		}
+	} else {
+		for len(specs) > 0 {
+			n := batchSize
+			if n > len(specs) {
+				n = len(specs)
+			}
+			got, err := client.SubmitBatchRetry(specs[:n], 5)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "updatectl: submit-batch: %v\n", err)
+				return 1
+			}
+			ids = append(ids, got...)
+			specs = specs[n:]
+		}
 	}
 	fmt.Fprintf(stdout, "submitted %d events\n", len(ids))
 	for _, id := range ids {

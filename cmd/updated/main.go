@@ -56,9 +56,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		addr      = fs.String("addr", ":7421", "listen address")
 		k         = fs.Int("k", 8, "fat-tree arity")
 		util      = fs.Float64("util", 0.6, "background utilization target")
-		schedName = fs.String("scheduler", "p-lmtf", "scheduling policy: fifo|lmtf|p-lmtf|reorder")
+		schedName = fs.String("scheduler", "p-lmtf", "scheduling policy (see sched.Names)")
 		alpha     = fs.Int("alpha", 4, "LMTF/P-LMTF sample size")
 		seed      = fs.Int64("seed", 1, "random seed")
+		watermark = fs.Int("watermark", ctl.DefaultHighWatermark, "queue high-watermark: submissions past it are rejected with a retry-after hint")
 		tables    = fs.Int("tables", -1, "attach per-switch rule tables with this capacity (0 = unlimited, -1 = off)")
 		telemetry = fs.String("telemetry-addr", "", "HTTP telemetry address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
 	)
@@ -66,18 +67,10 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		return 2
 	}
 
-	var scheduler sched.Scheduler
-	switch *schedName {
-	case "fifo":
-		scheduler = sched.FIFO{}
-	case "lmtf":
-		scheduler = sched.NewLMTF(*alpha, *seed)
-	case "p-lmtf":
-		scheduler = sched.NewPLMTF(*alpha, *seed)
-	case "reorder":
-		scheduler = sched.Reorder{}
-	default:
-		fmt.Fprintf(os.Stderr, "updated: unknown scheduler %q\n", *schedName)
+	scheduler, err := sched.New(*schedName, sched.WithAlpha(*alpha), sched.WithSeed(*seed))
+	if err != nil {
+		// The typed error lists every registered scheduler.
+		fmt.Fprintf(os.Stderr, "updated: %v\n", err)
 		return 2
 	}
 
@@ -109,7 +102,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 	}
 
 	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
-	srv := ctl.NewServer(planner, scheduler, sim.Config{})
+	srv := ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(*watermark))
 
 	var telemetrySrv *http.Server
 	if *telemetry != "" {

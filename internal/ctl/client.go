@@ -55,6 +55,16 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 		return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
 	}
 	if !resp.OK {
+		// An overload rejection carries structured retry guidance: surface
+		// it as a typed error so callers can match errors.Is(err,
+		// ErrOverloaded) and back off by the hint.
+		if ov := resp.Overload; ov != nil {
+			return resp, &OverloadError{
+				QueueDepth: ov.QueueDepth,
+				Watermark:  ov.Watermark,
+				RetryAfter: ov.RetryAfter(),
+			}
+		}
 		return resp, fmt.Errorf("ctl: %s: %s", req.Op, resp.Error)
 	}
 	return resp, nil
@@ -73,6 +83,103 @@ func (c *Client) Submit(event EventSpec) (int64, error) {
 		return 0, err
 	}
 	return resp.EventID, nil
+}
+
+// SubmitBatch submits many events in one request and returns one verdict
+// per event, in submission order. Verdicts may mix accepted events
+// (OK with an ID), validation rejections, and overload rejections; when
+// any event was refused for overload the returned OverloadInfo carries
+// the server's queue depth and retry-after hint.
+func (c *Client) SubmitBatch(events []EventSpec) ([]SubmitVerdict, *OverloadInfo, error) {
+	return c.submitBatch(events, false)
+}
+
+func (c *Client) submitBatch(events []EventSpec, retry bool) ([]SubmitVerdict, *OverloadInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpSubmitBatch, Events: events, Retry: retry})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Verdicts) != len(events) {
+		return nil, nil, fmt.Errorf("ctl: submit-batch: %d verdicts for %d events", len(resp.Verdicts), len(events))
+	}
+	return resp.Verdicts, resp.Overload, nil
+}
+
+// Backoff bounds for SubmitBatchRetry: each round waits the larger of
+// the server's retry-after hint and base<<round, capped.
+const (
+	retryBackoffBase = 10 * time.Millisecond
+	retryBackoffCap  = 2 * time.Second
+)
+
+// SubmitBatchRetry submits events, resubmitting overload-rejected ones
+// with capped exponential backoff that honors the server's retry-after
+// hint. Resubmissions are marked (Request.Retry) so the server counts
+// them. It returns accepted event IDs aligned with the input (0 = not
+// accepted). The error is non-nil if any event was rejected for
+// validation, or still refused for overload after maxAttempts rounds —
+// the latter matches errors.Is(err, ErrOverloaded).
+func (c *Client) SubmitBatchRetry(events []EventSpec, maxAttempts int) ([]int64, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	ids := make([]int64, len(events))
+	pending := make([]int, len(events)) // indexes into events still unsubmitted
+	for i := range events {
+		pending[i] = i
+	}
+	var invalid error
+	var lastOverload *OverloadInfo
+	for attempt := 0; len(pending) > 0 && attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			wait := retryBackoffBase << (attempt - 1)
+			if lastOverload != nil && lastOverload.RetryAfter() > wait {
+				wait = lastOverload.RetryAfter()
+			}
+			if wait > retryBackoffCap {
+				wait = retryBackoffCap
+			}
+			time.Sleep(wait)
+		}
+		batch := make([]EventSpec, len(pending))
+		for i, idx := range pending {
+			batch[i] = events[idx]
+		}
+		verdicts, overload, err := c.submitBatch(batch, attempt > 0)
+		if err != nil {
+			return ids, err
+		}
+		lastOverload = overload
+		next := pending[:0]
+		for i, v := range verdicts {
+			idx := pending[i]
+			switch {
+			case v.OK:
+				ids[idx] = v.EventID
+			case v.Overloaded:
+				next = append(next, idx)
+			default:
+				// Validation failure: retrying an invalid spec cannot help.
+				if invalid == nil {
+					invalid = fmt.Errorf("ctl: submit-batch: event %d rejected: %s", idx, v.Error)
+				}
+			}
+		}
+		pending = next
+	}
+	if invalid != nil {
+		return ids, invalid
+	}
+	if len(pending) > 0 {
+		err := &OverloadError{}
+		if lastOverload != nil {
+			err.QueueDepth = lastOverload.QueueDepth
+			err.Watermark = lastOverload.Watermark
+			err.RetryAfter = lastOverload.RetryAfter()
+		}
+		return ids, fmt.Errorf("ctl: submit-batch: %d events still rejected after %d attempts: %w", len(pending), maxAttempts, err)
+	}
+	return ids, nil
 }
 
 // Status reports one event's scheduling state.

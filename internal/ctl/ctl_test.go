@@ -24,7 +24,7 @@ import (
 // startServer brings up a controller over a loaded k=4 fat-tree on an
 // ephemeral port and returns a connected client. Everything is torn down
 // by t.Cleanup.
-func startServer(t *testing.T, scheduler sched.Scheduler) (*Client, *topology.FatTree) {
+func startServer(t *testing.T, scheduler sched.Scheduler, opts ...ServerOption) (*Client, *topology.FatTree) {
 	t.Helper()
 	ft, err := topology.NewFatTree(4, topology.Gbps)
 	if err != nil {
@@ -39,7 +39,7 @@ func startServer(t *testing.T, scheduler sched.Scheduler) (*Client, *topology.Fa
 		t.Fatal(err)
 	}
 	planner := core.NewPlanner(migration.NewPlanner(net1, 0), core.FailSkip)
-	srv := NewServer(planner, scheduler, sim.Config{InstallTime: time.Millisecond})
+	srv := NewServer(planner, scheduler, sim.Config{InstallTime: time.Millisecond}, opts...)
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -27,6 +27,13 @@ func FuzzParseRequest(f *testing.F) {
 		`not json at all`,
 		`{"op":"ping","event":{"flows":null}}`,
 		`{"op":42}`,
+		`{"v":1,"op":"ping"}`,
+		`{"v":2,"op":"ping"}`,
+		`{"v":-1,"op":"stats"}`,
+		`{"op":"submit-batch","events":[{"flows":[{"src":0,"dst":1,"demand_bps":1000000}]},{"kind":"big","flows":[{"src":2,"dst":3,"demand_bps":5000000}]}]}`,
+		`{"v":1,"op":"submit-batch","retry":true,"events":[{"flows":[{"src":0,"dst":1,"demand_bps":1}]}]}`,
+		`{"op":"submit-batch"}`,
+		`{"op":"submit-batch","events":[]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -42,10 +49,17 @@ func FuzzParseRequest(f *testing.F) {
 		if !knownOps[req.Op] {
 			t.Fatalf("accepted unknown op %q", req.Op)
 		}
+		if req.Version != 0 && req.Version != ProtocolVersion {
+			t.Fatalf("accepted unsupported protocol version %d", req.Version)
+		}
 		switch req.Op {
 		case OpSubmit:
 			if req.Event == nil {
 				t.Fatal("accepted submit without event")
+			}
+		case OpSubmitBatch:
+			if len(req.Events) == 0 {
+				t.Fatal("accepted submit-batch without events")
 			}
 		case OpFault:
 			if req.Fault == nil {

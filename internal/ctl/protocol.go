@@ -22,12 +22,21 @@ import (
 // Op names a protocol operation.
 type Op string
 
+// ProtocolVersion is the current wire protocol version. Requests carry
+// it in the "v" field; an absent or zero field means v1, so v1 clients
+// need no change. Unknown versions are rejected at parse time with
+// ErrUnsupportedVersion.
+const ProtocolVersion = 1
+
 // Protocol operations.
 const (
 	// OpPing checks liveness.
 	OpPing Op = "ping"
 	// OpSubmit enqueues an update event; the response carries its ID.
 	OpSubmit Op = "submit"
+	// OpSubmitBatch enqueues many events in one request; the response
+	// carries one verdict per event, in submission order.
+	OpSubmitBatch Op = "submit-batch"
 	// OpStatus reports one event's scheduling state.
 	OpStatus Op = "status"
 	// OpResults lists all completed events with their metrics.
@@ -48,8 +57,9 @@ const (
 
 // knownOps is the set of valid protocol operations.
 var knownOps = map[Op]bool{
-	OpPing: true, OpSubmit: true, OpStatus: true, OpResults: true,
-	OpStats: true, OpSnapshot: true, OpTrace: true, OpFault: true,
+	OpPing: true, OpSubmit: true, OpSubmitBatch: true, OpStatus: true,
+	OpResults: true, OpStats: true, OpSnapshot: true, OpTrace: true,
+	OpFault: true,
 }
 
 // FlowSpec is one flow of a submitted event. Host indices refer to the
@@ -95,9 +105,16 @@ type FaultResult struct {
 
 // Request is one client->server message.
 type Request struct {
-	Op Op `json:"op"`
+	// Version is the wire protocol version; absent (0) means v1.
+	Version int `json:"v,omitempty"`
+	Op      Op  `json:"op"`
 	// Event accompanies OpSubmit.
 	Event *EventSpec `json:"event,omitempty"`
+	// Events accompanies OpSubmitBatch, in submission order.
+	Events []EventSpec `json:"events,omitempty"`
+	// Retry marks a submit/submit-batch as a backoff resubmission after
+	// an overload rejection, so the server can count retried admissions.
+	Retry bool `json:"retry,omitempty"`
 	// EventID accompanies OpStatus.
 	EventID int64 `json:"event_id,omitempty"`
 	// N accompanies OpTrace: how many trailing records to return
@@ -118,6 +135,10 @@ func ParseRequest(data []byte) (*Request, error) {
 	if err := json.Unmarshal(data, &req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	if req.Version != 0 && req.Version != ProtocolVersion {
+		return nil, fmt.Errorf("%w: got v%d, this server speaks v%d",
+			ErrUnsupportedVersion, req.Version, ProtocolVersion)
+	}
 	if !knownOps[req.Op] {
 		return nil, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
 	}
@@ -125,6 +146,10 @@ func ParseRequest(data []byte) (*Request, error) {
 	case OpSubmit:
 		if req.Event == nil {
 			return nil, fmt.Errorf("%w: submit without event", ErrBadRequest)
+		}
+	case OpSubmitBatch:
+		if len(req.Events) == 0 {
+			return nil, fmt.Errorf("%w: submit-batch without events", ErrBadRequest)
 		}
 	case OpFault:
 		if req.Fault == nil {
@@ -188,6 +213,46 @@ type Stats struct {
 	FlowsDisrupted   int `json:"flows_disrupted"`
 	InstallRetries   int `json:"install_retries"`
 	InstallRollbacks int `json:"install_rollbacks"`
+	// Ingest telemetry: the intake bound and the cumulative submission
+	// outcomes (events accepted, events rejected for overload, events
+	// accepted from marked backoff retries, requests that admitted at
+	// least one event).
+	IngestWatermark int   `json:"ingest_watermark"`
+	IngestAccepted  int64 `json:"ingest_accepted"`
+	IngestRejected  int64 `json:"ingest_rejected"`
+	IngestRetried   int64 `json:"ingest_retried"`
+	IngestBatches   int64 `json:"ingest_batches"`
+}
+
+// SubmitVerdict is one event's outcome within an OpSubmitBatch
+// response, in submission order.
+type SubmitVerdict struct {
+	OK bool `json:"ok"`
+	// EventID is the assigned ID when OK.
+	EventID int64 `json:"event_id,omitempty"`
+	// Error explains a rejection (validation failure, overload).
+	Error string `json:"error,omitempty"`
+	// Overloaded marks a rejection caused purely by backpressure: the
+	// event was well-formed and can be resubmitted after the hint.
+	Overloaded bool `json:"overloaded,omitempty"`
+}
+
+// OverloadInfo is the backpressure detail attached to any response that
+// rejected events for overload: how deep the queue was and when a retry
+// is worth attempting.
+type OverloadInfo struct {
+	// QueueDepth is the update-queue length at rejection time.
+	QueueDepth int `json:"queue_depth"`
+	// Watermark is the intake bound the depth ran into.
+	Watermark int `json:"watermark"`
+	// RetryAfterMs is the server's hint for the earliest sensible
+	// resubmission, in milliseconds.
+	RetryAfterMs int64 `json:"retry_after_ms"`
+}
+
+// RetryAfter returns the hint as a duration.
+func (o *OverloadInfo) RetryAfter() time.Duration {
+	return time.Duration(o.RetryAfterMs) * time.Millisecond
 }
 
 // Response is one server->client message.
@@ -196,6 +261,11 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 	// EventID echoes the assigned ID after OpSubmit.
 	EventID int64 `json:"event_id,omitempty"`
+	// Verdicts answers OpSubmitBatch (one per submitted event, in order).
+	Verdicts []SubmitVerdict `json:"verdicts,omitempty"`
+	// Overload carries backpressure details when any event of the
+	// request was rejected for overload.
+	Overload *OverloadInfo `json:"overload,omitempty"`
 	// Status answers OpStatus.
 	Status *EventStatus `json:"status,omitempty"`
 	// Results answers OpResults (completed events, completion order).
@@ -214,10 +284,37 @@ type Response struct {
 var (
 	// ErrBadRequest is returned for malformed or unsupported requests.
 	ErrBadRequest = errors.New("ctl: bad request")
+	// ErrUnsupportedVersion is returned by ParseRequest for requests
+	// carrying a protocol version this server does not speak.
+	ErrUnsupportedVersion = errors.New("ctl: unsupported protocol version")
 	// ErrServerClosed is returned by client calls after the server went
 	// away and by Serve after Close.
 	ErrServerClosed = errors.New("ctl: server closed")
+	// ErrOverloaded marks submissions rejected by backpressure: the
+	// update queue is past its high-watermark. Match with errors.Is; the
+	// concrete error is an *OverloadError carrying the queue depth and
+	// the server's retry-after hint.
+	ErrOverloaded = errors.New("ctl: overloaded")
 )
+
+// OverloadError is the typed client-side form of an overload rejection.
+// errors.Is(err, ErrOverloaded) reports true for it.
+type OverloadError struct {
+	// QueueDepth and Watermark describe the queue at rejection time.
+	QueueDepth int
+	Watermark  int
+	// RetryAfter is the server's resubmission hint.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("ctl: overloaded: queue depth %d past watermark %d, retry after %v",
+		e.QueueDepth, e.Watermark, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
 
 // Validate checks a submitted event.
 func (e *EventSpec) Validate(numNodes int) error {

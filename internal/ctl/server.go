@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"netupdate/internal/core"
 	"netupdate/internal/fault"
@@ -31,6 +32,11 @@ type Server struct {
 	// atomics, safe to scrape over HTTP while the state loop runs.
 	registry *obs.Registry
 	ring     *obs.RingSink
+	ingest   *obs.IngestMetrics
+
+	// watermark bounds the update queue: submissions arriving at or past
+	// it are rejected with a typed overload response instead of queued.
+	watermark int
 
 	cmds    chan command
 	closing chan struct{}
@@ -53,9 +59,34 @@ type command struct {
 // thousand rounds of history without unbounded growth.
 const traceRingSize = 4096
 
+// DefaultHighWatermark is the intake bound used when no option overrides
+// it: past this many queued events, submissions are rejected with an
+// overload response instead of growing the queue without bound.
+const DefaultHighWatermark = 4096
+
+// cmdBacklog is the command channel's buffer: large enough that a burst
+// of connection handlers lands in one state-loop wakeup (and is admitted
+// into the scheduler queue in bulk) instead of costing one wakeup each.
+const cmdBacklog = 1024
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithHighWatermark sets the intake bound: submissions arriving when the
+// update queue holds n or more events are answered with a typed
+// overload response carrying the queue depth and a retry-after hint.
+// n <= 0 keeps DefaultHighWatermark.
+func WithHighWatermark(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.watermark = n
+		}
+	}
+}
+
 // NewServer wraps a planner (owning a prepared network) and a scheduler.
 // cfg is the virtual timing model used to compute per-event metrics.
-func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config) *Server {
+func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config, opts ...ServerOption) *Server {
 	s := &Server{
 		engine:    sim.NewEngine(planner, scheduler, cfg),
 		planner:   planner,
@@ -63,10 +94,16 @@ func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config)
 		numNodes:  planner.Network().Graph().NumNodes(),
 		registry:  obs.NewRegistry(),
 		ring:      obs.NewRingSink(traceRingSize),
-		cmds:      make(chan command),
+		watermark: DefaultHighWatermark,
+		cmds:      make(chan command, cmdBacklog),
 		closing:   make(chan struct{}),
 		open:      make(map[net.Conn]struct{}),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.ingest = obs.NewIngestMetrics(s.registry)
+	s.ingest.Watermark.Set(int64(s.watermark))
 	// Attach the tracer before the state loop starts so the engine never
 	// sees a concurrent SetTracer.
 	s.engine.SetTracer(obs.NewTracer(s.ring, obs.NewSimMetrics(s.registry)))
@@ -199,41 +236,172 @@ func (s *Server) dispatch(req Request) Response {
 
 // stateLoop owns the engine, queue and event table. It interleaves command
 // processing with scheduling rounds: whenever the queue is non-empty it
-// keeps running rounds, checking for new commands between rounds.
+// keeps running rounds, checking for new commands between rounds. Each
+// wakeup drains the whole command backlog so a burst of submissions is
+// admitted into the scheduler queue in bulk rather than one per wakeup.
 func (s *Server) stateLoop() {
 	defer s.loop.Done()
 	events := make(map[int64]*core.Event)
 	var order []int64
 	var nextID int64 = 1
-
-	handle := func(cmd command) {
-		cmd.reply <- s.handleRequest(cmd.req, events, &order, &nextID)
-	}
+	var batch []command
 
 	for {
+		batch = batch[:0]
 		// Block for work when idle; poll between rounds otherwise.
 		if s.engine.QueueLen() == 0 {
 			select {
 			case cmd := <-s.cmds:
-				handle(cmd)
+				batch = append(batch, cmd)
 			case <-s.closing:
 				return
 			}
-			continue
-		}
-		select {
-		case cmd := <-s.cmds:
-			handle(cmd)
-		case <-s.closing:
-			return
-		default:
-			if _, err := s.engine.Step(); err != nil {
-				// An executing event hit a hard error (invalid spec got
-				// through validation, ledger bug): surface it loudly on
-				// the next status/stats call rather than dying silently.
-				panic(fmt.Sprintf("ctl: scheduling round: %v", err))
+		} else {
+			select {
+			case cmd := <-s.cmds:
+				batch = append(batch, cmd)
+			case <-s.closing:
+				return
+			default:
+				if _, err := s.engine.Step(); err != nil {
+					// An executing event hit a hard error (invalid spec got
+					// through validation, ledger bug): surface it loudly
+					// rather than dying silently.
+					panic(fmt.Sprintf("ctl: scheduling round: %v", err))
+				}
+				continue
 			}
 		}
+		// Drain whatever else is already queued. No closing case here:
+		// every drained command has a handler blocked on its reply, so we
+		// must answer them all before the loop can exit.
+		for draining := true; draining; {
+			select {
+			case cmd := <-s.cmds:
+				batch = append(batch, cmd)
+			default:
+				draining = false
+			}
+		}
+		s.handleBatch(batch, events, &order, &nextID)
+	}
+}
+
+// handleBatch processes one drained command batch (state loop only).
+// Consecutive submissions are staged — IDs assigned, overload policy
+// applied, replies computed — and admitted into the engine through one
+// EnqueueBatch before any non-submit command observes the queue, and
+// again at batch end. Replies for staged submissions are withheld until
+// their events are actually enqueued, so a client that got an OK can
+// immediately query the event's status.
+func (s *Server) handleBatch(batch []command, events map[int64]*core.Event, order *[]int64, nextID *int64) {
+	var staged []*core.Event
+	var pending []command
+	var replies []Response
+	flush := func() {
+		s.engine.EnqueueBatch(staged)
+		staged = staged[:0]
+		for i, cmd := range pending {
+			cmd.reply <- replies[i]
+		}
+		pending, replies = pending[:0], replies[:0]
+	}
+	for _, cmd := range batch {
+		switch cmd.req.Op {
+		case OpSubmit, OpSubmitBatch:
+			pending = append(pending, cmd)
+			replies = append(replies, s.stageSubmit(cmd.req, &staged, events, order, nextID))
+		default:
+			flush()
+			cmd.reply <- s.handleRequest(cmd.req, events, order, nextID)
+		}
+	}
+	flush()
+}
+
+// stageSubmit validates and stages the events of one submit or
+// submit-batch request, applying the watermark policy against the
+// effective depth (queued plus already staged). It returns the response
+// to send once the staged events have been enqueued.
+func (s *Server) stageSubmit(req Request, staged *[]*core.Event, events map[int64]*core.Event, order *[]int64, nextID *int64) Response {
+	specs := req.Events
+	if req.Op == OpSubmit {
+		specs = []EventSpec{*req.Event}
+	}
+	verdicts := make([]SubmitVerdict, len(specs))
+	var overload *OverloadInfo
+	var accepted int64
+	for i := range specs {
+		if err := specs[i].Validate(s.numNodes); err != nil {
+			verdicts[i] = SubmitVerdict{Error: err.Error()}
+			continue
+		}
+		if depth := s.engine.QueueLen() + len(*staged); depth >= s.watermark {
+			if overload == nil {
+				overload = s.overloadInfo(depth)
+			}
+			verdicts[i] = SubmitVerdict{Error: ErrOverloaded.Error(), Overloaded: true}
+			s.ingest.Rejected.Inc()
+			continue
+		}
+		id := *nextID
+		*nextID++
+		flows := make([]flow.Spec, len(specs[i].Flows))
+		for j, f := range specs[i].Flows {
+			flows[j] = flow.Spec{
+				Src:    topology.NodeID(f.Src),
+				Dst:    topology.NodeID(f.Dst),
+				Demand: topology.Bandwidth(f.DemandBps),
+				Size:   f.SizeBytes,
+			}
+		}
+		kind := specs[i].Kind
+		if kind == "" {
+			kind = "submitted"
+		}
+		ev := core.NewEvent(flow.EventID(id), kind, s.engine.Clock(), flows)
+		events[id] = ev
+		*order = append(*order, id)
+		*staged = append(*staged, ev)
+		verdicts[i] = SubmitVerdict{OK: true, EventID: id}
+		accepted++
+	}
+	if accepted > 0 {
+		s.ingest.Accepted.Add(accepted)
+		s.ingest.Batches.Inc()
+		s.ingest.BatchSize.Observe(accepted)
+		if req.Retry {
+			s.ingest.Retried.Add(accepted)
+		}
+	}
+	if req.Op == OpSubmit {
+		v := verdicts[0]
+		if !v.OK {
+			return Response{OK: false, Error: v.Error, Overload: overload}
+		}
+		return Response{OK: true, EventID: v.EventID}
+	}
+	// Batch responses are request-level OK even when individual events
+	// were rejected; per-event outcomes live in the verdicts.
+	return Response{OK: true, Verdicts: verdicts, Overload: overload}
+}
+
+// overloadInfo builds the rejection payload for a submission refused at
+// the given queue depth. The retry-after hint is deterministic in the
+// depth — one millisecond per queued event, clamped to [5ms, 2s] — so a
+// deeper queue pushes clients further out.
+func (s *Server) overloadInfo(depth int) *OverloadInfo {
+	hint := time.Duration(depth) * time.Millisecond
+	if hint < 5*time.Millisecond {
+		hint = 5 * time.Millisecond
+	}
+	if hint > 2*time.Second {
+		hint = 2 * time.Second
+	}
+	return &OverloadInfo{
+		QueueDepth:   depth,
+		Watermark:    s.watermark,
+		RetryAfterMs: hint.Milliseconds(),
 	}
 }
 
@@ -242,31 +410,6 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
-
-	case OpSubmit:
-		if err := req.Event.Validate(s.numNodes); err != nil {
-			return Response{OK: false, Error: err.Error()}
-		}
-		id := *nextID
-		*nextID++
-		specs := make([]flow.Spec, len(req.Event.Flows))
-		for i, f := range req.Event.Flows {
-			specs[i] = flow.Spec{
-				Src:    topology.NodeID(f.Src),
-				Dst:    topology.NodeID(f.Dst),
-				Demand: topology.Bandwidth(f.DemandBps),
-				Size:   f.SizeBytes,
-			}
-		}
-		kind := req.Event.Kind
-		if kind == "" {
-			kind = "submitted"
-		}
-		ev := core.NewEvent(flow.EventID(id), kind, s.engine.Clock(), specs)
-		events[id] = ev
-		*order = append(*order, id)
-		s.engine.Enqueue(ev)
-		return Response{OK: true, EventID: id}
 
 	case OpStatus:
 		ev, ok := events[req.EventID]
@@ -314,6 +457,11 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 			FlowsDisrupted:   col.FlowsDisrupted,
 			InstallRetries:   col.InstallRetries,
 			InstallRollbacks: col.InstallRollbacks,
+			IngestWatermark:  s.watermark,
+			IngestAccepted:   s.ingest.Accepted.Value(),
+			IngestRejected:   s.ingest.Rejected.Value(),
+			IngestRetried:    s.ingest.Retried.Value(),
+			IngestBatches:    s.ingest.Batches.Value(),
 		}}
 
 	case OpTrace:

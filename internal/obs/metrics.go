@@ -362,6 +362,41 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 	}
 }
 
+// IngestMetrics is the live metric set of the daemon's batched ingest
+// path: submission outcomes (accepted / rejected-for-overload / accepted
+// on a marked retry), the size distribution of admitted batches, and the
+// intake bound itself. The queue-depth gauge lives in SimMetrics — the
+// engine refreshes it on every arrival and round.
+type IngestMetrics struct {
+	Accepted  *Counter
+	Rejected  *Counter
+	Retried   *Counter
+	Batches   *Counter
+	BatchSize *Histogram
+	Watermark *Gauge
+}
+
+// NewIngestMetrics registers the ingest metric set under the
+// "netupdate_ingest_" prefix.
+func NewIngestMetrics(r *Registry) *IngestMetrics {
+	// Power-of-two batch-size buckets 1..4096 cover single submits
+	// through the largest sane wire batches.
+	bounds := make([]int64, 13)
+	b := int64(1)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return &IngestMetrics{
+		Accepted:  r.NewCounter("netupdate_ingest_accepted_total", "Submitted events admitted into the update queue."),
+		Rejected:  r.NewCounter("netupdate_ingest_rejected_total", "Submitted events rejected with an overload response."),
+		Retried:   r.NewCounter("netupdate_ingest_retried_total", "Events admitted from requests marked as backoff retries."),
+		Batches:   r.NewCounter("netupdate_ingest_batches_total", "Submit requests that admitted at least one event."),
+		BatchSize: r.NewHistogram("netupdate_ingest_batch_size", "Events admitted per submit request.", bounds),
+		Watermark: r.NewGauge("netupdate_ingest_watermark", "Queue high-watermark past which submissions are rejected."),
+	}
+}
+
 // SetProbeStats refreshes the probe-cache gauges from run totals.
 func (m *SimMetrics) SetProbeStats(hits, misses int64) {
 	m.ProbeHits.Set(hits)

@@ -62,6 +62,10 @@ func (s *LMTF) Name() string { return fmt.Sprintf("lmtf(a=%d)", s.Alpha) }
 
 // SetProbes implements CostProber: n is the maximum number of concurrent
 // cost probes (0 = GOMAXPROCS, 1 = serial probing).
+//
+// Deprecated: prefer constructing with sched.New(name, WithProbes(n)).
+// The method remains because the simulator retunes concurrency from
+// sim.Config after construction.
 func (s *LMTF) SetProbes(n int) {
 	if s.probes == n {
 		return
@@ -71,6 +75,10 @@ func (s *LMTF) SetProbes(n int) {
 }
 
 // SetRecordProbes implements ProbeRecorder.
+//
+// Deprecated: prefer constructing with sched.New(name,
+// WithRecordProbes()). The method remains because the simulator flips
+// recording when a tracer is attached after construction.
 func (s *LMTF) SetRecordProbes(on bool) { s.record = on }
 
 // ProbeEngine implements CostProber, returning the engine bound to the

@@ -23,6 +23,15 @@ func (q *Queue) Push(ev *core.Event) {
 	q.events = append(q.events, ev)
 }
 
+// PushBatch appends events in the given order with one underlying grow —
+// the bulk-admission path of the batched ingest pipeline. It is exactly
+// equivalent to calling Push on each event in order: arrival order is the
+// slice order, and the events' Arrival stamps should be nondecreasing
+// like any other arrivals.
+func (q *Queue) PushBatch(evs []*core.Event) {
+	q.events = append(q.events, evs...)
+}
+
 // Len returns the number of queued events.
 func (q *Queue) Len() int { return len(q.events) }
 

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"netupdate/internal/core"
+	"netupdate/internal/flow"
+)
+
+func TestQueuePushBatch(t *testing.T) {
+	q := NewQueue()
+	evs := mkEvents(5)
+	q.Push(evs[0])
+	q.PushBatch(evs[1:4])
+	q.PushBatch(nil) // empty batch is a no-op
+	q.Push(evs[4])
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i, ev := range evs {
+		if q.At(i) != ev {
+			t.Errorf("At(%d) out of order after PushBatch", i)
+		}
+	}
+}
+
+// TestQueuePushBatchEquivalence is the bulk-admission contract: PushBatch
+// must be indistinguishable from pushing each event in order, under
+// random interleavings of single pushes, batch pushes and removals.
+func TestQueuePushBatchEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		batched, single := NewQueue(), NewQueue()
+		var model []*core.Event // reference: plain slice semantics
+		nextID := int64(1)
+		arrival := time.Duration(0)
+
+		mk := func() *core.Event {
+			// Arrival stamps are nondecreasing across pushes, like real
+			// arrivals admitted in clock order.
+			arrival += time.Duration(rng.Intn(3)) * time.Millisecond
+			ev := core.NewEvent(flow.EventID(nextID), "test", arrival, nil)
+			nextID++
+			return ev
+		}
+
+		for op := 0; op < 200; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // single push
+				ev := mk()
+				batched.Push(ev)
+				single.Push(ev)
+				model = append(model, ev)
+			case r < 8: // batch push of 0..6 events
+				n := rng.Intn(7)
+				evs := make([]*core.Event, n)
+				for i := range evs {
+					evs[i] = mk()
+				}
+				batched.PushBatch(evs)
+				for _, ev := range evs {
+					single.Push(ev)
+				}
+				model = append(model, evs...)
+			default: // remove a random present (or absent) event
+				var ev *core.Event
+				if len(model) > 0 && rng.Intn(4) > 0 {
+					ev = model[rng.Intn(len(model))]
+				} else {
+					ev = core.NewEvent(flow.EventID(1<<30), "absent", arrival, nil)
+				}
+				got, want := batched.Remove(ev), single.Remove(ev)
+				if got != want {
+					t.Fatalf("seed %d op %d: batched Remove = %v, single = %v", seed, op, got, want)
+				}
+				if want {
+					for i, m := range model {
+						if m == ev {
+							model = append(model[:i], model[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+
+			if batched.Len() != len(model) || single.Len() != len(model) {
+				t.Fatalf("seed %d op %d: lens %d/%d, model %d",
+					seed, op, batched.Len(), single.Len(), len(model))
+			}
+			var prev time.Duration
+			for i, want := range model {
+				if batched.At(i) != want || single.At(i) != want {
+					t.Fatalf("seed %d op %d: order diverged at index %d", seed, op, i)
+				}
+				if a := batched.At(i).Arrival; a < prev {
+					t.Fatalf("seed %d op %d: arrival stamps decreased at index %d", seed, op, i)
+				} else {
+					prev = a
+				}
+			}
+		}
+	}
+}

@@ -140,6 +140,31 @@ func (e *Engine) Enqueue(ev *core.Event) {
 	e.traceArrival(ev)
 }
 
+// EnqueueBatch adds a batch of events to the live update queue in one
+// bulk push (sched.Queue.PushBatch), in slice order. It is the batched
+// ingest path of the ctl server: for a fixed admission order it is
+// observationally identical to calling Enqueue on each event — the same
+// arrival trace records with the same per-event queue depths — so traces
+// are byte-identical with batching on or off.
+func (e *Engine) EnqueueBatch(evs []*core.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	e.queue.PushBatch(evs)
+	if e.obs == nil {
+		return
+	}
+	base := e.queue.Len() - len(evs)
+	for i, ev := range evs {
+		e.obs.EventArrival(int64(ev.Arrival), obs.ArrivalRecord{
+			Event:      int64(ev.ID),
+			Kind:       ev.Kind,
+			Flows:      ev.NumFlows(),
+			QueueDepth: base + i + 1,
+		})
+	}
+}
+
 // Step runs one scheduling round if the queue is non-empty and reports
 // whether it did any work. Scripted faults due at the current clock are
 // applied first; a failure can therefore mint a repair event and make an
@@ -185,14 +210,18 @@ func (e *Engine) QueueLen() int { return e.queue.Len() }
 func (e *Engine) Collector() *metrics.Collector { return e.collector }
 
 // admitArrivals moves pending events whose arrival time has come into the
-// update queue.
+// update queue, as one bulk push (trace-equivalent to admitting them one
+// at a time — see EnqueueBatch).
 func (e *Engine) admitArrivals() {
-	for len(e.pending) > 0 && e.pending[0].Arrival <= e.clock {
-		ev := e.pending[0]
-		e.queue.Push(ev)
-		e.pending = e.pending[1:]
-		e.traceArrival(ev)
+	due := 0
+	for due < len(e.pending) && e.pending[due].Arrival <= e.clock {
+		due++
 	}
+	if due == 0 {
+		return
+	}
+	e.EnqueueBatch(e.pending[:due])
+	e.pending = e.pending[due:]
 }
 
 // traceArrival emits an arrival record for an event just queued.

@@ -14,6 +14,16 @@ OUT="BENCH_$(date +%Y%m%d).json"
 raw=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"
 
+# Ingest soak: an open-loop selfhost loadgen run recording sustained
+# events/sec and the overload-rejection rate (SOAK_RATE=0 skips it).
+SOAK_RATE="${SOAK_RATE:-1500}"
+SOAK_DURATION="${SOAK_DURATION:-3s}"
+soak=null
+if [ "$SOAK_RATE" != 0 ]; then
+  soak=$(go run ./cmd/loadgen -selfhost -rate "$SOAK_RATE" -duration "$SOAK_DURATION" \
+    -batch 16 -conns 4 -retries 3 -json 2>/dev/null) || soak=null
+fi
+
 {
   printf '{\n'
   printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -45,6 +55,8 @@ printf '%s\n' "$raw"
       else
         printf "null\n"
     }'
+  printf '  ,"loadgen_soak":\n'
+  printf '%s\n' "$soak" | sed 's/^/  /'
   printf '}\n'
 } >"$OUT"
 
