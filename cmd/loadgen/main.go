@@ -132,7 +132,7 @@ func run(args []string, stdout io.Writer) int {
 		return 1
 	}
 
-	var accepted, rejected, invalid atomic.Int64
+	var accepted, rejected, invalid, dropped atomic.Int64
 	work := make(chan []ctl.EventSpec, *conns*4)
 	var wg sync.WaitGroup
 	workerErr := make(chan error, *conns)
@@ -144,8 +144,10 @@ func run(args []string, stdout io.Writer) int {
 			if err != nil {
 				workerErr <- err
 				// Drain so the generator never blocks on a dead worker's
-				// share of the channel.
-				for range work {
+				// share of the channel; those events never reach the wire,
+				// so they count as dropped, not submitted.
+				for batch := range work {
+					dropped.Add(int64(len(batch)))
 				}
 				return
 			}
@@ -160,7 +162,7 @@ func run(args []string, stdout io.Writer) int {
 	// scheduled against absolute time so slow submissions never stretch
 	// the offered load.
 	rng := rand.New(rand.NewSource(*seed))
-	var offered, dropped int64
+	var offered int64
 	start := time.Now()
 	next := start
 	var pending []ctl.EventSpec
@@ -174,7 +176,7 @@ func run(args []string, stdout io.Writer) int {
 		select {
 		case work <- batch:
 		default:
-			dropped += int64(len(batch))
+			dropped.Add(int64(len(batch)))
 		}
 	}
 	for {
@@ -198,16 +200,17 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "loadgen: worker: %v\n", err)
 	}
 
+	droppedTotal := dropped.Load()
 	sum := summary{
 		RateTarget:  *rate,
 		DurationSec: duration.Seconds(),
 		ElapsedSec:  elapsed.Seconds(),
 		Offered:     offered,
-		Submitted:   offered - dropped,
+		Submitted:   offered - droppedTotal,
 		Accepted:    accepted.Load(),
 		Rejected:    rejected.Load(),
 		Invalid:     invalid.Load(),
-		Dropped:     dropped,
+		Dropped:     droppedTotal,
 	}
 	if elapsed > 0 {
 		sum.AcceptedPerSec = float64(sum.Accepted) / elapsed.Seconds()

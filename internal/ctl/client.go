@@ -132,7 +132,14 @@ func (c *Client) SubmitBatchRetry(events []EventSpec, maxAttempts int) ([]int64,
 	var lastOverload *OverloadInfo
 	for attempt := 0; len(pending) > 0 && attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
-			wait := retryBackoffBase << (attempt - 1)
+			// Clamp the shift before it can overflow time.Duration: past a
+			// handful of doublings the exponential curve is above the cap
+			// anyway (an unclamped shift goes negative near attempt 40 and
+			// would turn the wait into a hot loop).
+			wait := retryBackoffCap
+			if shift := attempt - 1; shift < 30 && retryBackoffBase<<shift < retryBackoffCap {
+				wait = retryBackoffBase << shift
+			}
 			if lastOverload != nil && lastOverload.RetryAfter() > wait {
 				wait = lastOverload.RetryAfter()
 			}

@@ -315,6 +315,64 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestCloseUnderLoadNoDeadlock closes the server while many clients are
+// dispatching into the buffered command channel. A regression here
+// deadlocks: a command left in the buffer after the state loop exits
+// strands its handler on the reply, and Close hangs on conns.Wait.
+func TestCloseUnderLoadNoDeadlock(t *testing.T) {
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net1 := netstate.New(ft.Graph(), routing.NewFatTreeProvider(ft), routing.WidestFit{})
+	planner := core.NewPlanner(migration.NewPlanner(net1, 0), core.FailSkip)
+	srv := NewServer(planner, sched.FIFO{}, sim.Config{InstallTime: time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(l.Addr().String())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			spec := eventSpec(ft, 1, 1)
+			// Submit until the connection drops or the server refuses:
+			// either way the call must return, never hang.
+			for {
+				if _, err := c.Submit(spec); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond) // let submissions pile into the buffer
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked under concurrent submissions")
+	}
+	wg.Wait()
+	if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
 func TestProtocolWireFormat(t *testing.T) {
 	// The protocol is line-delimited JSON; verify a raw exchange.
 	client, ft := startServer(t, sched.FIFO{})

@@ -40,8 +40,12 @@ type Server struct {
 
 	cmds    chan command
 	closing chan struct{}
-	loop    sync.WaitGroup // state loop
-	conns   sync.WaitGroup // connection handlers
+	// loopStop tells the state loop's shutdown drain that every
+	// connection handler has exited, so no further command can arrive
+	// and the loop may return. Closed by Close after conns.Wait.
+	loopStop chan struct{}
+	loop     sync.WaitGroup // state loop
+	conns    sync.WaitGroup // connection handlers
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -97,6 +101,7 @@ func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config,
 		watermark: DefaultHighWatermark,
 		cmds:      make(chan command, cmdBacklog),
 		closing:   make(chan struct{}),
+		loopStop:  make(chan struct{}),
 		open:      make(map[net.Conn]struct{}),
 	}
 	for _, opt := range opts {
@@ -184,7 +189,12 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
+	// Handlers may still have commands buffered in s.cmds; the state loop
+	// keeps answering them (with ErrServerClosed) until every handler has
+	// exited. Only then is it safe to let the loop return: afterwards
+	// nobody is left to send.
 	s.conns.Wait()
+	close(s.loopStop)
 	s.loop.Wait()
 	return firstErr
 }
@@ -225,9 +235,18 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // dispatch routes a request to the state loop and waits for the answer.
 func (s *Server) dispatch(req Request) Response {
+	// Fast-fail once shutdown has begun, so new requests don't land in
+	// the command buffer just to be refused by the shutdown drain.
+	select {
+	case <-s.closing:
+		return Response{OK: false, Error: ErrServerClosed.Error()}
+	default:
+	}
 	cmd := command{req: req, reply: make(chan Response, 1)}
 	select {
 	case s.cmds <- cmd:
+		// A send that races shutdown is still answered: the state loop
+		// drains s.cmds until all handlers (including this one) exit.
 		return <-cmd.reply
 	case <-s.closing:
 		return Response{OK: false, Error: ErrServerClosed.Error()}
@@ -254,6 +273,7 @@ func (s *Server) stateLoop() {
 			case cmd := <-s.cmds:
 				batch = append(batch, cmd)
 			case <-s.closing:
+				s.drainOnClose()
 				return
 			}
 		} else {
@@ -261,6 +281,7 @@ func (s *Server) stateLoop() {
 			case cmd := <-s.cmds:
 				batch = append(batch, cmd)
 			case <-s.closing:
+				s.drainOnClose()
 				return
 			default:
 				if _, err := s.engine.Step(); err != nil {
@@ -284,6 +305,23 @@ func (s *Server) stateLoop() {
 			}
 		}
 		s.handleBatch(batch, events, &order, &nextID)
+	}
+}
+
+// drainOnClose answers every command still buffered — or sent while the
+// shutdown races dispatch — with ErrServerClosed, returning only once
+// Close has confirmed (via loopStop) that all connection handlers have
+// exited. Returning any earlier would strand a buffered command with no
+// receiver: its handler would block forever on the reply and Close would
+// hang on conns.Wait.
+func (s *Server) drainOnClose() {
+	for {
+		select {
+		case cmd := <-s.cmds:
+			cmd.reply <- Response{OK: false, Error: ErrServerClosed.Error()}
+		case <-s.loopStop:
+			return
+		}
 	}
 }
 
