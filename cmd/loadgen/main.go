@@ -8,6 +8,7 @@
 //
 //	loadgen -addr host:7421 -rate 500 -duration 10s [-conns 4] [-batch 16]
 //	loadgen -selfhost -rate 2000 -duration 5s -watermark 64 -json
+//	loadgen -selfhost -codec v1 -rate 500 -duration 5s   # JSON v1 fallback
 //
 // With -addr, events target an already-running daemon; host endpoints
 // are discovered from its snapshot. With -selfhost, loadgen spins up an
@@ -21,6 +22,14 @@
 // with capped exponential backoff honoring the server's retry-after
 // hint; with -retries 0 a rejection is final and counts toward the
 // rejection rate.
+//
+// The wire codec defaults to the binary v2 framing (-codec v2); with
+// -retries <= 1 each connection pipelines up to -pipeline submit-batch
+// requests without waiting for responses, which is what sustains
+// wire-speed offered rates. -codec v1 falls back to JSON, and retries
+// force the synchronous request/response path in either codec. The
+// summary reports client-observed submit latency (write to response)
+// percentiles.
 package main
 
 import (
@@ -29,9 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	netpkg "net"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +81,15 @@ type summary struct {
 	// rejected over submitted.
 	AcceptedPerSec float64 `json:"accepted_per_sec"`
 	RejectionRate  float64 `json:"rejection_rate"`
+	// Codec is the wire codec used ("v1" JSON or "v2" binary), and
+	// Pipelined reports whether requests were pipelined.
+	Codec     string `json:"codec"`
+	Pipelined bool   `json:"pipelined"`
+	// SubmitP50Ms/SubmitP99Ms are client-observed submit-batch latency
+	// percentiles (request written to response received) in
+	// milliseconds; 0 when no batch completed.
+	SubmitP50Ms float64 `json:"submit_p50_ms"`
+	SubmitP99Ms float64 `json:"submit_p99_ms"`
 	// Server echoes the controller's stats after the run (ingest
 	// counters, queue depth, scheduler) when the stats call succeeded.
 	Server *ctl.Stats `json:"server,omitempty"`
@@ -85,6 +105,8 @@ func run(args []string, stdout io.Writer) int {
 		conns    = fs.Int("conns", 4, "concurrent submitting connections")
 		batchSz  = fs.Int("batch", 16, "events per submit-batch request")
 		retries  = fs.Int("retries", 0, "max submit attempts per batch on overload (0 or 1 = no retry)")
+		codec    = fs.String("codec", "v2", "wire codec: v2 (binary framing) or v1 (JSON)")
+		pipeline = fs.Int("pipeline", 32, "in-flight submit-batch window per connection (codec v2, retries <= 1; 0 = synchronous)")
 		seed     = fs.Int64("seed", 1, "random seed for arrivals and event specs")
 		minFlows = fs.Int("min-flows", 1, "flows per event, lower bound")
 		maxFlows = fs.Int("max-flows", 4, "flows per event, upper bound")
@@ -109,6 +131,11 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintln(os.Stderr, "loadgen: bad load shape (rate/batch/conns/flows)")
 		return 2
 	}
+	if *codec != "v1" && *codec != "v2" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown codec %q (want v1 or v2)\n", *codec)
+		return 2
+	}
+	pipelined := *codec == "v2" && *retries <= 1 && *pipeline > 0
 
 	target := *addr
 	if *selfhost {
@@ -133,6 +160,7 @@ func run(args []string, stdout io.Writer) int {
 	}
 
 	var accepted, rejected, invalid, dropped atomic.Int64
+	lat := &latencyRecorder{}
 	work := make(chan []ctl.EventSpec, *conns*4)
 	var wg sync.WaitGroup
 	workerErr := make(chan error, *conns)
@@ -140,20 +168,32 @@ func run(args []string, stdout io.Writer) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := ctl.Dial(target)
-			if err != nil {
-				workerErr <- err
+			drainDropped := func() {
 				// Drain so the generator never blocks on a dead worker's
 				// share of the channel; those events never reach the wire,
 				// so they count as dropped, not submitted.
 				for batch := range work {
 					dropped.Add(int64(len(batch)))
 				}
+			}
+			if pipelined {
+				if err := pipelineWorker(target, *pipeline, work, lat, &accepted, &rejected, &invalid); err != nil {
+					workerErr <- err
+					drainDropped()
+				}
+				return
+			}
+			c, err := dialCodec(target, *codec)
+			if err != nil {
+				workerErr <- err
+				drainDropped()
 				return
 			}
 			defer c.Close()
 			for batch := range work {
+				t0 := time.Now()
 				submitBatch(c, batch, *retries, &accepted, &rejected, &invalid)
+				lat.add(time.Since(t0))
 			}
 		}()
 	}
@@ -218,6 +258,11 @@ func run(args []string, stdout io.Writer) int {
 	if sum.Submitted > 0 {
 		sum.RejectionRate = float64(sum.Rejected) / float64(sum.Submitted)
 	}
+	sum.Codec = *codec
+	sum.Pipelined = pipelined
+	p50, p99 := lat.percentiles()
+	sum.SubmitP50Ms = float64(p50) / float64(time.Millisecond)
+	sum.SubmitP99Ms = float64(p99) / float64(time.Millisecond)
 	if c, err := ctl.Dial(target); err == nil {
 		if stats, err := c.Stats(); err == nil {
 			sum.Server = &stats
@@ -238,6 +283,9 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(stdout, "accepted %d (%.1f/s), rejected %d (%.1f%%), invalid %d, dropped %d\n",
 			sum.Accepted, sum.AcceptedPerSec, sum.Rejected, 100*sum.RejectionRate,
 			sum.Invalid, sum.Dropped)
+		fmt.Fprintf(stdout, "codec %s%s, submit latency p50 %.2fms p99 %.2fms\n",
+			sum.Codec, map[bool]string{true: " pipelined", false: ""}[sum.Pipelined],
+			sum.SubmitP50Ms, sum.SubmitP99Ms)
 		if s := sum.Server; s != nil {
 			fmt.Fprintf(stdout, "server: %s scheduler, %d done, %d queued, ingest %d/%d/%d accepted/rejected/retried (watermark %d)\n",
 				s.Scheduler, s.EventsDone, s.EventsQueued,
@@ -368,4 +416,96 @@ func startSelfhost(schedName string, alpha, k int, util float64, watermark int, 
 		}
 	}()
 	return srv, l.Addr().String(), nil
+}
+
+// latencyRecorder accumulates client-observed submit latencies across
+// workers for end-of-run percentiles.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func (l *latencyRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// percentiles returns the nearest-rank p50 and p99, 0 when empty.
+func (l *latencyRecorder) percentiles() (p50, p99 time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0, 0
+	}
+	s := make([]time.Duration, len(l.samples))
+	copy(s, l.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// dialCodec connects with the requested wire codec.
+func dialCodec(target, codec string) (*ctl.Client, error) {
+	if codec == "v2" {
+		return ctl.DialBinary(target)
+	}
+	return ctl.Dial(target)
+}
+
+// pipelineWorker drives one pipelined binary connection: batches are
+// written without waiting for responses, outcomes and latencies are
+// folded in from the reader callback. Because responses arrive in
+// submission order, a FIFO of batch sizes attributes each result to its
+// event count.
+func pipelineWorker(target string, window int, work <-chan []ctl.EventSpec, lat *latencyRecorder, accepted, rejected, invalid *atomic.Int64) error {
+	var mu sync.Mutex
+	var sizes []int
+	p, err := ctl.DialPipeline(target, window, func(r ctl.BatchResult) {
+		mu.Lock()
+		size := sizes[0]
+		sizes = sizes[1:]
+		mu.Unlock()
+		lat.add(r.Latency)
+		if r.Err != nil {
+			rejected.Add(int64(size))
+			return
+		}
+		for _, v := range r.Verdicts {
+			switch {
+			case v.OK:
+				accepted.Add(1)
+			case v.Overloaded:
+				rejected.Add(1)
+			default:
+				invalid.Add(1)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = p.Close() }()
+	for batch := range work {
+		mu.Lock()
+		sizes = append(sizes, len(batch))
+		mu.Unlock()
+		if err := p.SubmitBatch(batch, false); err != nil {
+			if !errors.Is(err, ctl.ErrInFlight) {
+				// Never reached the wire: no callback will fire, so pop the
+				// size back off and count the batch as rejected here.
+				mu.Lock()
+				sizes = sizes[:len(sizes)-1]
+				mu.Unlock()
+				rejected.Add(int64(len(batch)))
+			}
+		}
+	}
+	return nil
 }

@@ -13,6 +13,7 @@
 //	updatectl -addr host:7421 trace [n] > trace.jsonl
 //	updatectl -addr host:7421 fault link-down -link 12
 //	updatectl -addr host:7421 fault install-timeout -times 2
+//	updatectl -addr host:7421 -codec v2 stats          # binary v2 framing
 //
 // submit reads JSON Lines (one event per line, the cmd/tracegen format),
 // submits every event, waits for completion, and prints per-event metrics.
@@ -48,6 +49,7 @@ func run(args []string, stdout io.Writer) int {
 		addr    = fs.String("addr", "127.0.0.1:7421", "controller address")
 		timeout = fs.Duration("timeout", 30*time.Second, "per-event wait timeout for submit")
 		batch   = fs.Int("batch", 1, "submit events in batches of this size (one submit-batch request each, with overload backoff)")
+		codec   = fs.String("codec", "v1", "wire codec: v1 (JSON) or v2 (binary framing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,7 +60,17 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 
-	client, err := ctl.Dial(*addr)
+	var client *ctl.Client
+	var err error
+	switch *codec {
+	case "v1":
+		client, err = ctl.Dial(*addr)
+	case "v2":
+		client, err = ctl.DialBinary(*addr)
+	default:
+		fmt.Fprintf(os.Stderr, "updatectl: unknown codec %q (want v1 or v2)\n", *codec)
+		return 2
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
 		return 1
@@ -98,6 +110,10 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(stdout, "rounds         %d\n", stats.Rounds)
 		fmt.Fprintf(stdout, "probe cache    %d hits / %d misses (%.2f hit rate)\n",
 			stats.ProbeCacheHits, stats.ProbeCacheMisses, stats.ProbeHitRate)
+		fmt.Fprintf(stdout, "probe plans    %d cold, %d incremental replans\n",
+			stats.ProbeColdPlans, stats.ProbeIncrementalReplans)
+		fmt.Fprintf(stdout, "codec          %d v2 conns, %d v1 frames, %d v2 frames\n",
+			stats.CodecV2Conns, stats.FramesV1, stats.FramesV2)
 		fmt.Fprintf(stdout, "faults         %d injected, %d links down, %d repair events, %d flows disrupted\n",
 			stats.FaultsInjected, stats.LinksDown, stats.RepairEvents, stats.FlowsDisrupted)
 		fmt.Fprintf(stdout, "installs       %d retries, %d rollbacks\n",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"runtime"
 	"sort"
@@ -19,12 +20,29 @@ type ProbeStats struct {
 	// versus freshly planned.
 	Hits   int
 	Misses int
+	// Cold and Incremental split Misses by cause: Cold counts probes of
+	// events never cached (or probed live in data-plane mode), while
+	// Incremental counts re-plans of events whose cached estimate was
+	// invalidated by a link change. Misses == Cold + Incremental always.
+	Cold        int
+	Incremental int
+	// JournalMisses counts refreshes where the graph's change journal no
+	// longer covered the gap since the last scan, forcing the engine to
+	// treat every cached entry as potentially dirty.
+	JournalMisses int
 	// Forks counts fork lanes created; Resyncs counts times an existing
 	// lane was refreshed from live state.
 	Forks   int
 	Resyncs int
 	// ProbeTime is the wall-clock time spent inside ProbeAll.
 	ProbeTime time.Duration
+}
+
+// DirtyObserver receives the number of distinct dirty links each time
+// the engine consumes a batch of journaled changes. obs.Histogram
+// satisfies it; the indirection keeps core free of the obs package.
+type DirtyObserver interface {
+	Observe(v int64)
 }
 
 // HitRate returns Hits / (Hits + Misses), 0 when no probes ran.
@@ -54,12 +72,22 @@ type forkLane struct {
 // it. It backs the headroom revalidation of ProbeEngine.revalidate (nil
 // when unavailable). cleanEvals is the planning work an all-fast-path
 // replay would report, so headroom hits can account Evals faithfully.
+// Each entry also carries the bookkeeping of the engine's incremental
+// indexes: valid is the dirty bit maintained from the graph's change
+// journal (true means no link of the read set changed since the entry
+// was stamped, so the cached estimate is current without any check);
+// gen is bumped whenever the entry's cost may have changed, lazily
+// invalidating min-cost heap nodes that reference an older gen.
 type probeEntry struct {
+	id         flow.EventID
 	est        Estimate
 	links      []topology.LinkID
 	maxVersion uint64
 	need       map[topology.LinkID]topology.Bandwidth
 	cleanEvals int
+
+	valid bool
+	gen   uint64
 }
 
 // ProbeEngine answers event cost probes (Planner.Probe) for schedulers,
@@ -94,6 +122,50 @@ type ProbeEngine struct {
 
 	cache map[flow.EventID]*probeEntry
 	stats ProbeStats
+
+	// byLink is the reverse index read-set link -> cached entries, used
+	// by refresh to dirty exactly the entries a journaled change hits.
+	byLink map[topology.LinkID]map[*probeEntry]struct{}
+	// scanEpoch is the graph epoch up to which journaled changes have
+	// been consumed; every cached entry's valid bit is accurate as of it.
+	scanEpoch uint64
+	// minHeap orders heap nodes over cached entries by (cost, event ID)
+	// with lazy invalidation: stale nodes (gen mismatch) are discarded
+	// on pop. dirtyScratch is the reused buffer for journal reads.
+	minHeap      costHeap
+	dirtyScratch []topology.LinkID
+	dirtyObs     DirtyObserver
+}
+
+// costNode is one lazy min-cost heap node. It is stale — skipped on
+// pop — once gen no longer matches entry.gen (the entry was dirtied,
+// resurrected at a different cost, replaced, or forgotten).
+type costNode struct {
+	cost  topology.Bandwidth
+	id    flow.EventID
+	entry *probeEntry
+	gen   uint64
+}
+
+// costHeap implements container/heap ordered by (cost, event ID); the
+// ID tie-break keeps CheapestValid deterministic across probe modes.
+type costHeap []costNode
+
+func (h costHeap) Len() int { return len(h) }
+func (h costHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].id < h[j].id
+}
+func (h costHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x any)   { *h = append(*h, x.(costNode)) }
+func (h *costHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 // NewProbeEngine returns an engine over the given planner with the given
@@ -107,8 +179,14 @@ func NewProbeEngine(planner *Planner, workers int) *ProbeEngine {
 		planner: planner,
 		workers: workers,
 		cache:   make(map[flow.EventID]*probeEntry),
+		byLink:  make(map[topology.LinkID]map[*probeEntry]struct{}),
 	}
 }
+
+// SetDirtyObserver installs o to receive the distinct-dirty-link count
+// of each consumed journal batch (nil disables). Typically an
+// obs.Histogram feeding the netupdate_probe_dirty_links metric.
+func (pe *ProbeEngine) SetDirtyObserver(o DirtyObserver) { pe.dirtyObs = o }
 
 // Planner returns the live planner the engine probes on behalf of.
 func (pe *ProbeEngine) Planner() *Planner { return pe.planner }
@@ -122,7 +200,97 @@ func (pe *ProbeEngine) Stats() ProbeStats { return pe.stats }
 // Forget drops the cached estimate for an event. Call after the event
 // executes: it will never be probed again, and its entry would otherwise
 // linger for the life of the engine.
-func (pe *ProbeEngine) Forget(id flow.EventID) { delete(pe.cache, id) }
+func (pe *ProbeEngine) Forget(id flow.EventID) {
+	if e, ok := pe.cache[id]; ok {
+		pe.dropEntry(e)
+		delete(pe.cache, id)
+	}
+}
+
+// dropEntry unlinks an entry from the reverse index and bumps its gen so
+// any heap nodes referencing it are discarded on pop. The cache map
+// itself is the caller's to update.
+func (pe *ProbeEngine) dropEntry(e *probeEntry) {
+	for _, l := range e.links {
+		if set, ok := pe.byLink[l]; ok {
+			delete(set, e)
+			if len(set) == 0 {
+				delete(pe.byLink, l)
+			}
+		}
+	}
+	e.valid = false
+	e.gen++
+}
+
+// markValid flips a resurrected entry back to valid and indexes its
+// (possibly refreshed) cost in the min-cost heap.
+func (pe *ProbeEngine) markValid(e *probeEntry) {
+	e.valid = true
+	e.gen++
+	pe.pushNode(e)
+}
+
+// pushNode records the entry's current cost in the lazy heap, compacting
+// stale nodes when they outnumber live entries by too much.
+func (pe *ProbeEngine) pushNode(e *probeEntry) {
+	heap.Push(&pe.minHeap, costNode{cost: e.est.Cost, id: e.id, entry: e, gen: e.gen})
+	if len(pe.minHeap) > 4*len(pe.cache)+64 {
+		live := pe.minHeap[:0]
+		for _, n := range pe.minHeap {
+			if n.gen == n.entry.gen {
+				live = append(live, n)
+			}
+		}
+		pe.minHeap = live
+		heap.Init(&pe.minHeap)
+	}
+}
+
+// refresh consumes the graph's change journal since the last scan,
+// marking dirty exactly the cached entries whose read sets intersect the
+// changed links. When the journal cannot cover the gap (the engine fell
+// more than journalCap epochs behind, or the graph was synced wholesale)
+// every entry is conservatively marked dirty — recovering the pre-index
+// behavior of revalidating each entry at its next probe.
+func (pe *ProbeEngine) refresh(g *topology.Graph) {
+	epoch := g.Epoch()
+	if epoch == pe.scanEpoch {
+		return
+	}
+	if len(pe.cache) == 0 {
+		// Nothing to dirty; just fast-forward past the gap (background
+		// fill alone can burn thousands of epochs before the first probe).
+		pe.scanEpoch = epoch
+		return
+	}
+	changes, ok := g.AppendChangesSince(pe.dirtyScratch[:0], pe.scanEpoch)
+	pe.dirtyScratch = changes[:0]
+	if !ok {
+		pe.stats.JournalMisses++
+		for _, e := range pe.cache {
+			if e.valid {
+				e.valid = false
+				e.gen++
+			}
+		}
+		pe.scanEpoch = epoch
+		return
+	}
+	changes = dedupLinks(changes)
+	for _, l := range changes {
+		for e := range pe.byLink[l] {
+			if e.valid {
+				e.valid = false
+				e.gen++
+			}
+		}
+	}
+	if pe.dirtyObs != nil && len(changes) > 0 {
+		pe.dirtyObs.Observe(int64(len(changes)))
+	}
+	pe.scanEpoch = epoch
+}
 
 // Probe estimates one event's current update cost; see ProbeAll.
 func (pe *ProbeEngine) Probe(ev *Event) (*Estimate, error) {
@@ -155,19 +323,30 @@ func (pe *ProbeEngine) ProbeAll(evs []*Event) ([]*Estimate, error) {
 			}
 			out[i] = est
 			pe.stats.Misses++
+			pe.stats.Cold++
 		}
 		return out, nil
 	}
 
 	g := live.Graph()
+	pe.refresh(g)
 	var misses []int
 	for i, ev := range evs {
-		if entry, ok := pe.cache[ev.ID]; ok && pe.revalidate(g, entry) {
+		entry, ok := pe.cache[ev.ID]
+		if ok && (entry.valid || pe.revalidate(g, entry)) {
 			// Replanning is guaranteed to reproduce the cached estimate,
 			// so skip it. Evals reports the work that hypothetical replan
 			// would have performed — not the (zero) work actually done —
 			// so simulated plan-time accounting is identical with and
 			// without the cache; only real wall-time changes.
+			//
+			// A valid entry (no read-set link changed since the last
+			// journal scan) hits with zero checks; a dirty one falls back
+			// to revalidate, whose success resurrects it into the valid
+			// set and re-indexes its cost.
+			if !entry.valid {
+				pe.markValid(entry)
+			}
 			out[i] = &Estimate{
 				Cost:       entry.est.Cost,
 				Feasible:   entry.est.Feasible,
@@ -177,6 +356,11 @@ func (pe *ProbeEngine) ProbeAll(evs []*Event) ([]*Estimate, error) {
 			}
 			pe.stats.Hits++
 			continue
+		}
+		if ok {
+			pe.stats.Incremental++
+		} else {
+			pe.stats.Cold++
 		}
 		misses = append(misses, i)
 	}
@@ -233,10 +417,16 @@ func (pe *ProbeEngine) ProbeAll(evs []*Event) ([]*Estimate, error) {
 		}
 		out[i] = res.estimate()
 		links := dedupLinks(out[i].Touched)
+		if old, ok := pe.cache[evs[i].ID]; ok {
+			pe.dropEntry(old)
+		}
 		entry := &probeEntry{
+			id:         evs[i].ID,
 			est:        *out[i],
 			links:      links,
 			maxVersion: g.MaxVersion(links),
+			valid:      true,
+			gen:        1,
 		}
 		if hashDesired && res.Failed == 0 {
 			// Every flow landed on its hash-pinned desired path (the slow
@@ -254,8 +444,40 @@ func (pe *ProbeEngine) ProbeAll(evs []*Event) ([]*Estimate, error) {
 			}
 		}
 		pe.cache[evs[i].ID] = entry
+		for _, l := range links {
+			set, ok := pe.byLink[l]
+			if !ok {
+				set = make(map[*probeEntry]struct{})
+				pe.byLink[l] = set
+			}
+			set[entry] = struct{}{}
+		}
+		pe.pushNode(entry)
 	}
 	return out, nil
+}
+
+// CheapestValid returns the event ID and cost of the cheapest currently
+// valid cached estimate, ordered by (cost, event ID). ok is false when
+// no valid entry exists — nothing probed yet, everything dirtied, or the
+// engine is in data-plane (cacheless) mode. The caller typically runs
+// ProbeAll over its candidate set first, which validates every entry it
+// can and replans the rest, making the subsequent pop authoritative for
+// that set.
+func (pe *ProbeEngine) CheapestValid() (flow.EventID, topology.Bandwidth, bool) {
+	live := pe.planner.Network()
+	if live.DataPlane() != nil {
+		return 0, 0, false
+	}
+	pe.refresh(live.Graph())
+	for len(pe.minHeap) > 0 {
+		n := pe.minHeap[0]
+		if n.gen == n.entry.gen && n.entry.valid && pe.cache[n.id] == n.entry {
+			return n.id, n.cost, true
+		}
+		heap.Pop(&pe.minHeap)
+	}
+	return 0, 0, false
 }
 
 // revalidate reports whether a cached estimate still equals what a fresh

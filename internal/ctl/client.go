@@ -1,8 +1,11 @@
 package ctl
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -11,16 +14,22 @@ import (
 	"netupdate/internal/snapshot"
 )
 
-// Client talks the controller protocol over one TCP connection. It is
-// safe for concurrent use; calls are serialized on the connection.
+// Client talks the controller protocol over one TCP connection, in
+// either codec. It is safe for concurrent use; calls are serialized on
+// the connection.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+	// binary selects the v2 framed codec; br reads response frames and
+	// buf is the reused request-frame build buffer.
+	binary bool
+	br     *bufio.Reader
+	buf    []byte
 }
 
-// Dial connects to a controller at addr.
+// Dial connects to a controller at addr, speaking JSON v1.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -29,7 +38,18 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
-// NewClient wraps an established connection.
+// DialBinary connects to a controller at addr, speaking the binary v2
+// framing. The server detects the codec from the first frame's magic
+// byte, so no handshake round-trip is needed.
+func DialBinary(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: dial %s: %w", addr, err)
+	}
+	return NewBinaryClient(conn), nil
+}
+
+// NewClient wraps an established connection with the JSON v1 codec.
 func NewClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
@@ -38,21 +58,81 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
+// NewBinaryClient wraps an established connection with the binary v2
+// codec.
+func NewBinaryClient(conn net.Conn) *Client {
+	return &Client{
+		conn:   conn,
+		binary: true,
+		br:     bufio.NewReader(conn),
+	}
+}
+
 // Close closes the connection.
 func (c *Client) Close() error {
 	return c.conn.Close()
+}
+
+// readResponseFrame reads one complete binary response frame from br,
+// reusing scratch, and decodes it.
+func readResponseFrame(br *bufio.Reader, scratch []byte) (*Response, []byte, error) {
+	if cap(scratch) < FrameHeaderSize {
+		scratch = make([]byte, FrameHeaderSize)
+	}
+	header := scratch[:FrameHeaderSize]
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, scratch, err
+	}
+	if header[0] != FrameMagic {
+		return nil, scratch, fmt.Errorf("%w: bad response magic 0x%02x", ErrBadRequest, header[0])
+	}
+	n := binary.LittleEndian.Uint32(header[4:8])
+	if n > MaxFramePayload {
+		return nil, scratch, fmt.Errorf("%w: response payload %d exceeds %d", ErrBadRequest, n, MaxFramePayload)
+	}
+	need := FrameHeaderSize + int(n)
+	if cap(scratch) < need {
+		grown := make([]byte, need)
+		copy(grown, header)
+		scratch = grown
+	}
+	scratch = scratch[:need]
+	if _, err := io.ReadFull(br, scratch[FrameHeaderSize:]); err != nil {
+		return nil, scratch, err
+	}
+	resp, err := decodeResponseFrame(scratch)
+	return resp, scratch, err
 }
 
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
-	}
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
+	if c.binary {
+		frame, err := AppendRequestFrame(c.buf[:0], &req)
+		if err != nil {
+			return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
+		}
+		c.buf = frame[:0]
+		if _, err := c.conn.Write(frame); err != nil {
+			return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
+		}
+		rp, scratch, err := readResponseFrame(c.br, c.buf)
+		if cap(scratch) > cap(c.buf) {
+			c.buf = scratch[:0]
+		}
+		if err != nil {
+			return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
+		}
+		resp = *rp
+	} else {
+		if err := c.enc.Encode(req); err != nil {
+			return Response{}, fmt.Errorf("ctl: send %s: %w", req.Op, err)
+		}
+		if err := c.dec.Decode(&resp); err != nil {
+			return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
+		}
 	}
 	if !resp.OK {
 		// An overload rejection carries structured retry guidance: surface

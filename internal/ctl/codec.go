@@ -1,0 +1,378 @@
+package ctl
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// Binary v2 framing. Every frame — request or response — is an 8-byte
+// header followed by a length-prefixed payload:
+//
+//	byte 0   FrameMagic (0xB7; no JSON document can start with it, so
+//	         the codec is detected from the first byte of a connection)
+//	byte 1   protocol version (ProtocolVersionBinary)
+//	byte 2   frame kind: a binOp* value in requests, a respKind* value
+//	         in responses
+//	byte 3   flags (requests: bit0 = Retry)
+//	bytes 4-7  payload length, uint32 little-endian
+//
+// The hot request path — submit-batch — has a dense native encoding;
+// every other operation wraps its JSON v1 body in a binOpJSON /
+// respKindJSON frame, so the rare ops cost one length prefix over v1
+// while staying trivially in sync with the JSON schema.
+const (
+	// ProtocolVersionBinary is the wire version of the binary framing.
+	// It exists only in binary frames: a JSON request claiming "v":2 is
+	// rejected, which keeps old servers' error messages accurate.
+	ProtocolVersionBinary = 2
+
+	// FrameMagic is the first byte of every binary frame.
+	FrameMagic byte = 0xB7
+
+	// FrameHeaderSize is the fixed header length.
+	FrameHeaderSize = 8
+
+	// MaxFramePayload bounds a frame's payload (16 MiB), limiting what a
+	// bad length prefix can make the server allocate.
+	MaxFramePayload = 1 << 24
+)
+
+// Request frame kinds.
+const (
+	binOpPing        byte = 1
+	binOpSubmitBatch byte = 2
+	binOpJSON        byte = 3
+)
+
+// Response frame kinds.
+const (
+	respKindJSON     byte = 1
+	respKindVerdicts byte = 2
+)
+
+// Request flag bits.
+const reqFlagRetry byte = 1 << 0
+
+// Submit-batch payload caps: far above any sane batch, far below what a
+// hostile length field could otherwise demand.
+const (
+	maxBatchEvents    = 1 << 20
+	maxFlowsPerEvent  = 1 << 16
+	maxVerdictsDecode = 1 << 20
+)
+
+// putHeader writes a frame header in place.
+func putHeader(h []byte, kind, flags byte, payloadLen int) {
+	h[0] = FrameMagic
+	h[1] = ProtocolVersionBinary
+	h[2] = kind
+	h[3] = flags
+	binary.LittleEndian.PutUint32(h[4:8], uint32(payloadLen))
+}
+
+// AppendRequestFrame appends req encoded as one binary v2 frame to buf
+// and returns the extended slice. Submit-batch requests use the dense
+// native encoding; everything else is a JSON envelope frame.
+func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, make([]byte, FrameHeaderSize)...)
+	var kind, flags byte
+	if req.Retry {
+		flags |= reqFlagRetry
+	}
+	switch req.Op {
+	case OpPing:
+		kind = binOpPing
+	case OpSubmitBatch:
+		kind = binOpSubmitBatch
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Events)))
+		for i := range req.Events {
+			ev := &req.Events[i]
+			if len(ev.Kind) > 255 {
+				return nil, fmt.Errorf("%w: event kind longer than 255 bytes", ErrBadRequest)
+			}
+			if len(ev.Flows) > maxFlowsPerEvent {
+				return nil, fmt.Errorf("%w: event with %d flows", ErrBadRequest, len(ev.Flows))
+			}
+			buf = append(buf, byte(len(ev.Kind)))
+			buf = append(buf, ev.Kind...)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ev.Flows)))
+			for _, f := range ev.Flows {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Src))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(f.Dst))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(f.DemandBps))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(f.SizeBytes))
+			}
+		}
+	default:
+		kind = binOpJSON
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		buf = append(buf, body...)
+	}
+	payload := len(buf) - start - FrameHeaderSize
+	if payload > MaxFramePayload {
+		return nil, fmt.Errorf("%w: frame payload %d exceeds %d", ErrBadRequest, payload, MaxFramePayload)
+	}
+	putHeader(buf[start:start+FrameHeaderSize], kind, flags, payload)
+	return buf, nil
+}
+
+// parseBinaryRequest decodes one complete binary frame (header included)
+// into a Request. All errors wrap ErrBadRequest except a version byte
+// this build does not speak, which wraps ErrUnsupportedVersion.
+func parseBinaryRequest(data []byte) (*Request, error) {
+	if len(data) < FrameHeaderSize {
+		return nil, fmt.Errorf("%w: truncated frame header (%d bytes)", ErrBadRequest, len(data))
+	}
+	if data[0] != FrameMagic {
+		return nil, fmt.Errorf("%w: bad frame magic 0x%02x", ErrBadRequest, data[0])
+	}
+	if data[1] != ProtocolVersionBinary {
+		return nil, fmt.Errorf("%w: got binary v%d, this server speaks v%d",
+			ErrUnsupportedVersion, data[1], ProtocolVersionBinary)
+	}
+	kind, flags := data[2], data[3]
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: frame payload %d exceeds %d", ErrBadRequest, n, MaxFramePayload)
+	}
+	if uint64(len(data)-FrameHeaderSize) != uint64(n) {
+		return nil, fmt.Errorf("%w: frame payload length %d, header says %d",
+			ErrBadRequest, len(data)-FrameHeaderSize, n)
+	}
+	payload := data[FrameHeaderSize:]
+
+	req := &Request{Version: ProtocolVersionBinary, Retry: flags&reqFlagRetry != 0}
+	switch kind {
+	case binOpPing:
+		req.Op = OpPing
+	case binOpSubmitBatch:
+		req.Op = OpSubmitBatch
+		events, err := decodeBatchPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		req.Events = events
+	case binOpJSON:
+		inner, err := parseJSONRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		inner.Version = ProtocolVersionBinary
+		inner.Retry = inner.Retry || req.Retry
+		req = inner
+	default:
+		return nil, fmt.Errorf("%w: unknown binary frame kind %d", ErrBadRequest, kind)
+	}
+	if err := checkRequestShape(req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// decodeBatchPayload decodes the dense submit-batch body. The event
+// slice and its flow slices are freshly allocated (they outlive the
+// read buffer); string kinds are the only copies beyond that.
+func decodeBatchPayload(p []byte) ([]EventSpec, error) {
+	off := 0
+	need := func(n int) error {
+		if len(p)-off < n {
+			return fmt.Errorf("%w: truncated submit-batch payload at byte %d", ErrBadRequest, off)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(p[off:])
+	off += 4
+	if count == 0 || count > maxBatchEvents {
+		return nil, fmt.Errorf("%w: submit-batch with %d events", ErrBadRequest, count)
+	}
+	events := make([]EventSpec, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		kindLen := int(p[off])
+		off++
+		if err := need(kindLen + 2); err != nil {
+			return nil, err
+		}
+		kind := string(p[off : off+kindLen])
+		off += kindLen
+		flowCount := int(binary.LittleEndian.Uint16(p[off:]))
+		off += 2
+		if err := need(flowCount * 24); err != nil {
+			return nil, err
+		}
+		flows := make([]FlowSpec, flowCount)
+		for j := 0; j < flowCount; j++ {
+			flows[j] = FlowSpec{
+				Src:       int(binary.LittleEndian.Uint32(p[off:])),
+				Dst:       int(binary.LittleEndian.Uint32(p[off+4:])),
+				DemandBps: int64(binary.LittleEndian.Uint64(p[off+8:])),
+				SizeBytes: int64(binary.LittleEndian.Uint64(p[off+16:])),
+			}
+			off += 24
+		}
+		events = append(events, EventSpec{Kind: kind, Flows: flows})
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after submit-batch payload", ErrBadRequest, len(p)-off)
+	}
+	return events, nil
+}
+
+// AppendResponseFrame appends resp encoded as one binary v2 frame to
+// buf. Successful submit-batch responses use the dense verdict
+// encoding; everything else is a JSON envelope frame.
+func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, make([]byte, FrameHeaderSize)...)
+	var kind byte
+	if resp.OK && resp.Verdicts != nil {
+		kind = respKindVerdicts
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Verdicts)))
+		for _, v := range resp.Verdicts {
+			var f byte
+			if v.OK {
+				f |= 1 << 0
+			}
+			if v.Overloaded {
+				f |= 1 << 1
+			}
+			buf = append(buf, f)
+			if v.OK {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v.EventID))
+			} else {
+				msg := v.Error
+				if len(msg) > 1<<15 {
+					msg = msg[:1<<15]
+				}
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))
+				buf = append(buf, msg...)
+			}
+		}
+		if resp.Overload != nil {
+			buf = append(buf, 1)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Overload.QueueDepth))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Overload.Watermark))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(resp.Overload.RetryAfterMs))
+		} else {
+			buf = append(buf, 0)
+		}
+	} else {
+		kind = respKindJSON
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, body...)
+	}
+	payload := len(buf) - start - FrameHeaderSize
+	if payload > MaxFramePayload {
+		return nil, fmt.Errorf("ctl: response frame payload %d exceeds %d", payload, MaxFramePayload)
+	}
+	putHeader(buf[start:start+FrameHeaderSize], kind, 0, payload)
+	return buf, nil
+}
+
+// decodeResponseFrame decodes one complete binary response frame.
+func decodeResponseFrame(data []byte) (*Response, error) {
+	if len(data) < FrameHeaderSize {
+		return nil, fmt.Errorf("%w: truncated response header", ErrBadRequest)
+	}
+	if data[0] != FrameMagic || data[1] != ProtocolVersionBinary {
+		return nil, fmt.Errorf("%w: bad response frame preamble", ErrBadRequest)
+	}
+	kind := data[2]
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if uint64(len(data)-FrameHeaderSize) != uint64(n) {
+		return nil, fmt.Errorf("%w: response payload length mismatch", ErrBadRequest)
+	}
+	p := data[FrameHeaderSize:]
+	switch kind {
+	case respKindJSON:
+		var resp Response
+		if err := json.Unmarshal(p, &resp); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return &resp, nil
+	case respKindVerdicts:
+		return decodeVerdictsPayload(p)
+	default:
+		return nil, fmt.Errorf("%w: unknown response frame kind %d", ErrBadRequest, kind)
+	}
+}
+
+// decodeVerdictsPayload decodes the dense submit-batch response body.
+func decodeVerdictsPayload(p []byte) (*Response, error) {
+	off := 0
+	need := func(n int) error {
+		if len(p)-off < n {
+			return fmt.Errorf("%w: truncated verdicts payload at byte %d", ErrBadRequest, off)
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(p[off:])
+	off += 4
+	if count > maxVerdictsDecode {
+		return nil, fmt.Errorf("%w: %d verdicts", ErrBadRequest, count)
+	}
+	resp := &Response{OK: true, Verdicts: make([]SubmitVerdict, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		f := p[off]
+		off++
+		v := SubmitVerdict{OK: f&(1<<0) != 0, Overloaded: f&(1<<1) != 0}
+		if v.OK {
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			v.EventID = int64(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		} else {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			msgLen := int(binary.LittleEndian.Uint16(p[off:]))
+			off += 2
+			if err := need(msgLen); err != nil {
+				return nil, err
+			}
+			v.Error = string(p[off : off+msgLen])
+			off += msgLen
+		}
+		resp.Verdicts = append(resp.Verdicts, v)
+	}
+	if err := need(1); err != nil {
+		return nil, err
+	}
+	present := p[off]
+	off++
+	if present != 0 {
+		if err := need(16); err != nil {
+			return nil, err
+		}
+		resp.Overload = &OverloadInfo{
+			QueueDepth:   int(binary.LittleEndian.Uint32(p[off:])),
+			Watermark:    int(binary.LittleEndian.Uint32(p[off+4:])),
+			RetryAfterMs: int64(binary.LittleEndian.Uint64(p[off+8:])),
+		}
+		off += 16
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after verdicts payload", ErrBadRequest, len(p)-off)
+	}
+	return resp, nil
+}

@@ -38,6 +38,43 @@ func FuzzParseRequest(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	// Binary v2 frames: well-formed ping and submit-batch, plus the
+	// malformed shapes the decoder must reject without panicking —
+	// truncated header, truncated payload, oversized and lying length
+	// fields, a version-downgrade byte, and trailing junk.
+	ping, err := AppendRequestFrame(nil, &Request{Op: OpPing})
+	if err != nil {
+		f.Fatal(err)
+	}
+	batch, err := AppendRequestFrame(nil, &Request{Op: OpSubmitBatch, Events: []EventSpec{
+		{Kind: "test", Flows: []FlowSpec{{Src: 0, Dst: 1, DemandBps: 1_000_000}}},
+		{Flows: []FlowSpec{{Src: 2, Dst: 3, DemandBps: 5_000_000, SizeBytes: 4096}}},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	jsonEnv, err := AppendRequestFrame(nil, &Request{Op: OpStats})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ping)
+	f.Add(batch)
+	f.Add(jsonEnv)
+	f.Add(ping[:FrameHeaderSize-3])                       // truncated header
+	f.Add(batch[:len(batch)-5])                           // truncated payload
+	f.Add(append(append([]byte{}, batch...), 0xAA, 0xBB)) // trailing junk
+	downgrade := append([]byte{}, ping...)
+	downgrade[1] = 1 // binary framing with a v1 version byte
+	f.Add(downgrade)
+	badLen := append([]byte{}, batch...)
+	badLen[4], badLen[5], badLen[6], badLen[7] = 0xFF, 0xFF, 0xFF, 0x7F // length far beyond cap
+	f.Add(badLen)
+	lyingLen := append([]byte{}, batch...)
+	lyingLen[4]++ // header claims one more byte than the payload carries
+	f.Add(lyingLen)
+	f.Add([]byte{FrameMagic})                                                      // magic alone
+	f.Add([]byte{FrameMagic, ProtocolVersionBinary, 0x7F, 0, 0, 0, 0, 0})          // unknown frame kind
+	f.Add([]byte{FrameMagic, ProtocolVersionBinary, 2, 0, 4, 0, 0, 0, 0, 0, 0, 0}) // batch with count 0
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ParseRequest(data)
 		if err != nil {
@@ -49,7 +86,12 @@ func FuzzParseRequest(f *testing.F) {
 		if !knownOps[req.Op] {
 			t.Fatalf("accepted unknown op %q", req.Op)
 		}
-		if req.Version != 0 && req.Version != ProtocolVersion {
+		if len(data) > 0 && data[0] == FrameMagic {
+			// Binary framing: the decoder stamps the negotiated version.
+			if req.Version != ProtocolVersionBinary {
+				t.Fatalf("binary frame accepted with version %d", req.Version)
+			}
+		} else if req.Version != 0 && req.Version != ProtocolVersion {
 			t.Fatalf("accepted unsupported protocol version %d", req.Version)
 		}
 		switch req.Op {

@@ -124,13 +124,27 @@ type Request struct {
 	Fault *FaultSpec `json:"fault,omitempty"`
 }
 
-// ParseRequest decodes and shape-checks one request frame. It is the
-// single entry point for untrusted bytes (the server's connection handler
-// and the fuzz target both go through it): malformed JSON, unknown ops
-// and missing per-op payloads all return an error wrapping ErrBadRequest;
-// no input may panic. Semantic validation against the server's topology
-// (node/link ranges) happens later, in the state loop.
+// ParseRequest decodes and shape-checks one request frame, in either
+// codec. It is the single entry point for untrusted bytes (the server's
+// connection handler and the fuzz target both go through it): malformed
+// JSON, broken binary frames, unknown ops and missing per-op payloads
+// all return an error wrapping ErrBadRequest; no input may panic.
+// Semantic validation against the server's topology (node/link ranges)
+// happens later, in the state loop.
+//
+// The codec is self-describing: a frame starting with FrameMagic (a
+// byte no JSON document can start with) is a binary v2 frame; anything
+// else is a JSON v1 line. A JSON request claiming "v":2 is rejected —
+// v2 exists only in binary framing.
 func ParseRequest(data []byte) (*Request, error) {
+	if len(data) > 0 && data[0] == FrameMagic {
+		return parseBinaryRequest(data)
+	}
+	return parseJSONRequest(data)
+}
+
+// parseJSONRequest decodes one JSON v1 request line.
+func parseJSONRequest(data []byte) (*Request, error) {
 	var req Request
 	if err := json.Unmarshal(data, &req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -139,27 +153,35 @@ func ParseRequest(data []byte) (*Request, error) {
 		return nil, fmt.Errorf("%w: got v%d, this server speaks v%d",
 			ErrUnsupportedVersion, req.Version, ProtocolVersion)
 	}
+	if err := checkRequestShape(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// checkRequestShape applies the codec-independent op and payload checks.
+func checkRequestShape(req *Request) error {
 	if !knownOps[req.Op] {
-		return nil, fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
+		return fmt.Errorf("%w: unknown op %q", ErrBadRequest, req.Op)
 	}
 	switch req.Op {
 	case OpSubmit:
 		if req.Event == nil {
-			return nil, fmt.Errorf("%w: submit without event", ErrBadRequest)
+			return fmt.Errorf("%w: submit without event", ErrBadRequest)
 		}
 	case OpSubmitBatch:
 		if len(req.Events) == 0 {
-			return nil, fmt.Errorf("%w: submit-batch without events", ErrBadRequest)
+			return fmt.Errorf("%w: submit-batch without events", ErrBadRequest)
 		}
 	case OpFault:
 		if req.Fault == nil {
-			return nil, fmt.Errorf("%w: fault without spec", ErrBadRequest)
+			return fmt.Errorf("%w: fault without spec", ErrBadRequest)
 		}
 		if req.Fault.Times < 0 || req.Fault.Event < 0 {
-			return nil, fmt.Errorf("%w: negative fault parameters", ErrBadRequest)
+			return fmt.Errorf("%w: negative fault parameters", ErrBadRequest)
 		}
 	}
-	return &req, nil
+	return nil
 }
 
 // EventState is an event's lifecycle stage.
@@ -204,6 +226,11 @@ type Stats struct {
 	ProbeCacheHits   int64   `json:"probe_cache_hits"`
 	ProbeCacheMisses int64   `json:"probe_cache_misses"`
 	ProbeHitRate     float64 `json:"probe_hit_rate"`
+	// ProbeColdPlans and ProbeIncrementalReplans split the misses: full
+	// trial-plans of never-cached events vs. re-plans of cache entries
+	// invalidated by link changes (dirty-set maintenance).
+	ProbeColdPlans          int64 `json:"probe_cold_plans"`
+	ProbeIncrementalReplans int64 `json:"probe_incremental_replans"`
 	// Rounds is the number of scheduling rounds executed so far.
 	Rounds int64 `json:"rounds"`
 	// Fault-injection and recovery telemetry.
@@ -222,6 +249,11 @@ type Stats struct {
 	IngestRejected  int64 `json:"ingest_rejected"`
 	IngestRetried   int64 `json:"ingest_retried"`
 	IngestBatches   int64 `json:"ingest_batches"`
+	// Codec telemetry: requests decoded per wire codec and connections
+	// currently speaking the binary v2 framing.
+	CodecV2Conns int64 `json:"codec_v2_conns"`
+	FramesV1     int64 `json:"frames_v1"`
+	FramesV2     int64 `json:"frames_v2"`
 }
 
 // SubmitVerdict is one event's outcome within an OpSubmitBatch

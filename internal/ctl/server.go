@@ -1,8 +1,11 @@
 package ctl
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -199,8 +202,11 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
-// handleConn serves one client: a stream of JSON requests, each answered
-// by one JSON response.
+// handleConn serves one client. The codec is per-connection, detected
+// from the first byte: FrameMagic opens a binary v2 stream, anything
+// else a line-delimited JSON v1 stream. Detection must happen before
+// any json.Decoder touches the socket — the decoder reads ahead, so
+// per-frame codec switching on one connection is impossible.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.conns.Done()
 	defer func() {
@@ -210,7 +216,21 @@ func (s *Server) handleConn(conn net.Conn) {
 		_ = conn.Close() // double-close on shutdown path is harmless
 	}()
 
-	dec := json.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == FrameMagic {
+		s.serveBinary(conn, br)
+		return
+	}
+	s.serveJSON(conn, br)
+}
+
+// serveJSON answers a stream of JSON requests, one JSON response each.
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
+	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(conn)
 	for {
 		var raw json.RawMessage
@@ -226,8 +246,76 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			continue
 		}
+		s.ingest.FramesV1.Inc()
 		resp := s.dispatch(*req)
 		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// serveBinary answers a stream of binary v2 frames. Responses are
+// buffered and flushed only before a read would block, so a pipelining
+// client streaming many frames gets its responses in large writes
+// without a flush (or a round-trip stall) per request.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	s.ingest.CodecV2Conns.Add(1)
+	defer s.ingest.CodecV2Conns.Add(-1)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	header := make([]byte, FrameHeaderSize)
+	var frame, out []byte
+	for {
+		// Flush pending responses before a blocking read: if the client
+		// has nothing more buffered for us, it is waiting on an answer.
+		if bw.Buffered() > 0 && br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if _, err := io.ReadFull(br, header); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(header[4:8])
+		if header[0] != FrameMagic || n > MaxFramePayload {
+			// The stream cannot be resynchronized past a corrupt header;
+			// answer the error and drop the connection.
+			if out, err := AppendResponseFrame(out[:0], &Response{
+				OK: false, Error: fmt.Sprintf("%v: bad frame header", ErrBadRequest),
+			}); err == nil {
+				_, _ = bw.Write(out)
+			}
+			_ = bw.Flush()
+			return
+		}
+		need := FrameHeaderSize + int(n)
+		if cap(frame) < need {
+			frame = make([]byte, need)
+		}
+		frame = frame[:need]
+		copy(frame, header)
+		if _, err := io.ReadFull(br, frame[FrameHeaderSize:]); err != nil {
+			return
+		}
+		req, err := ParseRequest(frame)
+		if err != nil {
+			// A framed but invalid request (bad version byte, unknown op,
+			// bad payload): answer the error, keep the connection.
+			out, err = AppendResponseFrame(out[:0], &Response{OK: false, Error: err.Error()})
+			if err != nil {
+				return
+			}
+			if _, err := bw.Write(out); err != nil {
+				return
+			}
+			continue
+		}
+		s.ingest.FramesV2.Inc()
+		resp := s.dispatch(*req)
+		out, err = AppendResponseFrame(out[:0], &resp)
+		if err != nil {
+			return
+		}
+		if _, err := bw.Write(out); err != nil {
 			return
 		}
 	}
@@ -474,32 +562,37 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 		net := s.planner.Network()
 		met := s.engine.Tracer().Metrics()
 		return Response{OK: true, Stats: &Stats{
-			Scheduler:        s.scheduler,
-			Utilization:      net.Utilization(),
-			FlowsPlaced:      len(net.Registry().Placed()),
-			EventsQueued:     s.engine.QueueLen(),
-			EventsDone:       col.Len(),
-			TotalCostBps:     int64(col.TotalCost()),
-			AvgECT:           col.AvgECT(),
-			TailECT:          col.TailECT(),
-			AvgQueuingDelay:  col.AvgQueuingDelay(),
-			PlanTime:         col.PlanTime,
-			VirtualClock:     s.engine.Clock(),
-			ProbeCacheHits:   met.ProbeHits.Value(),
-			ProbeCacheMisses: met.ProbeMisses.Value(),
-			ProbeHitRate:     met.ProbeHitRate.Value(),
-			Rounds:           met.Rounds.Value(),
-			FaultsInjected:   col.FaultsInjected,
-			LinksDown:        s.engine.LinksDown(),
-			RepairEvents:     col.RepairEvents,
-			FlowsDisrupted:   col.FlowsDisrupted,
-			InstallRetries:   col.InstallRetries,
-			InstallRollbacks: col.InstallRollbacks,
-			IngestWatermark:  s.watermark,
-			IngestAccepted:   s.ingest.Accepted.Value(),
-			IngestRejected:   s.ingest.Rejected.Value(),
-			IngestRetried:    s.ingest.Retried.Value(),
-			IngestBatches:    s.ingest.Batches.Value(),
+			Scheduler:               s.scheduler,
+			Utilization:             net.Utilization(),
+			FlowsPlaced:             len(net.Registry().Placed()),
+			EventsQueued:            s.engine.QueueLen(),
+			EventsDone:              col.Len(),
+			TotalCostBps:            int64(col.TotalCost()),
+			AvgECT:                  col.AvgECT(),
+			TailECT:                 col.TailECT(),
+			AvgQueuingDelay:         col.AvgQueuingDelay(),
+			PlanTime:                col.PlanTime,
+			VirtualClock:            s.engine.Clock(),
+			ProbeCacheHits:          met.ProbeHits.Value(),
+			ProbeCacheMisses:        met.ProbeMisses.Value(),
+			ProbeHitRate:            met.ProbeHitRate.Value(),
+			ProbeColdPlans:          met.ProbeCold.Value(),
+			ProbeIncrementalReplans: met.ProbeIncremental.Value(),
+			Rounds:                  met.Rounds.Value(),
+			FaultsInjected:          col.FaultsInjected,
+			LinksDown:               s.engine.LinksDown(),
+			RepairEvents:            col.RepairEvents,
+			FlowsDisrupted:          col.FlowsDisrupted,
+			InstallRetries:          col.InstallRetries,
+			InstallRollbacks:        col.InstallRollbacks,
+			IngestWatermark:         s.watermark,
+			IngestAccepted:          s.ingest.Accepted.Value(),
+			IngestRejected:          s.ingest.Rejected.Value(),
+			IngestRetried:           s.ingest.Retried.Value(),
+			IngestBatches:           s.ingest.Batches.Value(),
+			CodecV2Conns:            s.ingest.CodecV2Conns.Value(),
+			FramesV1:                s.ingest.FramesV1.Value(),
+			FramesV2:                s.ingest.FramesV2.Value(),
 		}}
 
 	case OpTrace:

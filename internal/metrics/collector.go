@@ -60,6 +60,14 @@ type Collector struct {
 	// answered from the epoch-based probe cache versus freshly planned.
 	ProbeCacheHits   int
 	ProbeCacheMisses int
+	// ProbeCold and ProbeIncremental split the misses: full trial-plans
+	// of never-cached events versus re-plans of cache entries invalidated
+	// by link changes. ProbeJournalMisses counts times the probe engine
+	// fell behind the graph's change journal and had to treat every
+	// cached entry as dirty.
+	ProbeCold          int
+	ProbeIncremental   int
+	ProbeJournalMisses int
 	// ProbeForks counts scratch-network forks created for parallel probing;
 	// ProbeResyncs counts fork refreshes after live-state commits.
 	ProbeForks   int

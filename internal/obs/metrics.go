@@ -114,6 +114,10 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // Set stores v.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// Add adds delta (which may be negative), for gauges tracking a level
+// such as open connections.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
@@ -318,6 +322,15 @@ type SimMetrics struct {
 	ProbeHits    *Gauge
 	ProbeMisses  *Gauge
 	ProbeHitRate *FloatGauge
+	// ProbeCold and ProbeIncremental split the misses: full trial-plans
+	// of never-cached events vs. re-plans of invalidated entries. A
+	// steady-state round on an unchanged queue moves neither.
+	ProbeCold        *Gauge
+	ProbeIncremental *Gauge
+	// ProbeDirtyLinks observes the distinct dirty-link count of each
+	// journal batch the probe engine consumes (one sample per epoch-bump
+	// group processed).
+	ProbeDirtyLinks *Histogram
 
 	ECT          *Histogram
 	QueuingDelay *Histogram
@@ -335,6 +348,14 @@ type SimMetrics struct {
 // "netupdate_" prefix.
 func NewSimMetrics(r *Registry) *SimMetrics {
 	utilBounds := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	// Power-of-two dirty-set buckets 1..4096: one committed event dirties
+	// a handful of links, a fault cascade dirties hundreds.
+	dirtyBounds := make([]int64, 13)
+	db := int64(1)
+	for i := range dirtyBounds {
+		dirtyBounds[i] = db
+		db *= 2
+	}
 	return &SimMetrics{
 		QueueDepth:   r.NewGauge("netupdate_queue_depth", "Events waiting in the update queue."),
 		VirtualClock: r.NewGauge("netupdate_virtual_clock_ns", "Simulation virtual clock in nanoseconds."),
@@ -345,9 +366,12 @@ func NewSimMetrics(r *Registry) *SimMetrics {
 		FlowsAdmitted: r.NewCounter("netupdate_flows_admitted_total", "Event flows admitted."),
 		FlowsFailed:   r.NewCounter("netupdate_flows_failed_total", "Event flow specs that could not be admitted."),
 
-		ProbeHits:    r.NewGauge("netupdate_probe_cache_hits", "Cost probes answered from the epoch cache (run total)."),
-		ProbeMisses:  r.NewGauge("netupdate_probe_cache_misses", "Cost probes freshly planned (run total)."),
-		ProbeHitRate: r.NewFloatGauge("netupdate_probe_hit_rate", "Probe cache hit rate, 0 when no probes ran."),
+		ProbeHits:        r.NewGauge("netupdate_probe_cache_hits", "Cost probes answered from the epoch cache (run total)."),
+		ProbeMisses:      r.NewGauge("netupdate_probe_cache_misses", "Cost probes freshly planned (run total)."),
+		ProbeHitRate:     r.NewFloatGauge("netupdate_probe_hit_rate", "Probe cache hit rate, 0 when no probes ran."),
+		ProbeCold:        r.NewGauge("netupdate_probe_cold_plans", "Full trial-plans of never-cached events (run total)."),
+		ProbeIncremental: r.NewGauge("netupdate_probe_incremental_replans", "Re-plans of cache entries invalidated by link changes (run total)."),
+		ProbeDirtyLinks:  r.NewHistogram("netupdate_probe_dirty_links", "Distinct dirty links per consumed change-journal batch.", dirtyBounds),
 
 		ECT:          r.NewDurationHistogram("netupdate_ect_ns", "Event completion time (completion - arrival), ns."),
 		QueuingDelay: r.NewDurationHistogram("netupdate_queuing_delay_ns", "Event queuing delay (start - arrival), ns."),
@@ -374,6 +398,11 @@ type IngestMetrics struct {
 	Batches   *Counter
 	BatchSize *Histogram
 	Watermark *Gauge
+	// CodecV2Conns tracks connections currently speaking the binary v2
+	// framing; FramesV1/FramesV2 count requests decoded per codec.
+	CodecV2Conns *Gauge
+	FramesV1     *Counter
+	FramesV2     *Counter
 }
 
 // NewIngestMetrics registers the ingest metric set under the
@@ -394,7 +423,17 @@ func NewIngestMetrics(r *Registry) *IngestMetrics {
 		Batches:   r.NewCounter("netupdate_ingest_batches_total", "Submit requests that admitted at least one event."),
 		BatchSize: r.NewHistogram("netupdate_ingest_batch_size", "Events admitted per submit request.", bounds),
 		Watermark: r.NewGauge("netupdate_ingest_watermark", "Queue high-watermark past which submissions are rejected."),
+		CodecV2Conns: r.NewGauge("netupdate_ingest_codec_v2_conns",
+			"Connections currently speaking the binary v2 framing."),
+		FramesV1: r.NewCounter("netupdate_ingest_frames_v1_total", "Requests decoded from the JSON v1 codec."),
+		FramesV2: r.NewCounter("netupdate_ingest_frames_v2_total", "Requests decoded from the binary v2 codec."),
 	}
+}
+
+// SetProbeDetail refreshes the miss-split gauges from run totals.
+func (m *SimMetrics) SetProbeDetail(cold, incremental int64) {
+	m.ProbeCold.Set(cold)
+	m.ProbeIncremental.Set(incremental)
 }
 
 // SetProbeStats refreshes the probe-cache gauges from run totals.

@@ -73,6 +73,7 @@ func TestChaosTraceDeterminism(t *testing.T) {
 	}{
 		{"lmtf", func() sched.Scheduler { return sched.NewLMTF(4, 1) }},
 		{"plmtf", func() sched.Scheduler { return sched.NewPLMTF(4, 1) }},
+		{"min-cost", func() sched.Scheduler { return sched.NewMinCost() }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial, col := chaosRun(t, tc.mk, 1, script, nil)

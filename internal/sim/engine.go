@@ -280,8 +280,28 @@ func (e *Engine) drainReleases() {
 	e.processReleases(1<<62 - 1)
 }
 
+// Plan runs the scheduler's decision step over the current queue without
+// executing anything: a dry run that prices the queue (warming and
+// revalidating the probe engine's cost cache) and syncs probe counters,
+// leaving queue and network untouched. Introspection and testing hook —
+// note that sampling schedulers (LMTF) consume RNG on every decision, so
+// interleaving Plan with Step changes their subsequent samples.
+func (e *Engine) Plan() (sched.Decision, error) {
+	d, err := e.scheduler.Pick(e.queue, e.planner)
+	if err != nil {
+		return sched.Decision{}, fmt.Errorf("sim: planning: %w", err)
+	}
+	e.syncProbeStats()
+	return d, nil
+}
+
 // runRound performs one scheduling round.
 func (e *Engine) runRound() error {
+	if pe := e.probeEngine(); pe != nil && e.obs != nil {
+		if m := e.obs.Metrics(); m != nil {
+			pe.SetDirtyObserver(m.ProbeDirtyLinks)
+		}
+	}
 	decision, err := e.scheduler.Pick(e.queue, e.planner)
 	if err != nil {
 		return fmt.Errorf("sim: scheduling: %w", err)
@@ -414,12 +434,16 @@ func (e *Engine) syncProbeStats() {
 	st := pe.Stats()
 	e.collector.ProbeCacheHits = st.Hits
 	e.collector.ProbeCacheMisses = st.Misses
+	e.collector.ProbeCold = st.Cold
+	e.collector.ProbeIncremental = st.Incremental
+	e.collector.ProbeJournalMisses = st.JournalMisses
 	e.collector.ProbeForks = st.Forks
 	e.collector.ProbeResyncs = st.Resyncs
 	e.collector.ProbeWallTime = st.ProbeTime
 	if e.obs != nil {
 		if m := e.obs.Metrics(); m != nil {
 			m.SetProbeStats(int64(st.Hits), int64(st.Misses))
+			m.SetProbeDetail(int64(st.Cold), int64(st.Incremental))
 		}
 	}
 }

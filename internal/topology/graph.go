@@ -26,7 +26,26 @@ type Graph struct {
 	// touched link's version, so link versions are globally unique and
 	// monotonically increasing.
 	epoch uint64
+	// journal is a ring of the links touched by recent epoch bumps: the
+	// change minted at epoch v sits at journal[(v-1)%journalCap]. It backs
+	// AppendChangesSince, letting probe caches dirty exactly the entries
+	// whose read sets intersect recent changes instead of revalidating
+	// every entry. Allocated lazily on the first recorded change.
+	journal []LinkID
+	// journalLo is the smallest epoch still retained in the ring; changes
+	// at or before journalLo-1 have been overwritten (or never recorded).
+	journalLo uint64
+	// journalOff disables journaling entirely. Set on forks: trial
+	// planning churns a fork's epoch at the hottest rate in the system,
+	// and nobody subscribes to a fork's change stream.
+	journalOff bool
 }
+
+// journalCap bounds the change journal. 4096 epochs of history is far
+// more than the gap between scheduler rounds (a round commits one event,
+// touching tens of links); readers that fall further behind take the
+// revalidate-everything slow path.
+const journalCap = 4096
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
@@ -150,6 +169,7 @@ func (g *Graph) Reserve(id LinkID, bw Bandwidth) error {
 	l.reserved += bw
 	g.epoch++
 	l.version = g.epoch
+	g.recordChange(id)
 	return nil
 }
 
@@ -168,6 +188,7 @@ func (g *Graph) Release(id LinkID, bw Bandwidth) error {
 	l.reserved -= bw
 	g.epoch++
 	l.version = g.epoch
+	g.recordChange(id)
 	return nil
 }
 
@@ -218,6 +239,7 @@ func (g *Graph) SetLinkDown(id LinkID, down bool) bool {
 	l.down = down
 	g.epoch++
 	l.version = g.epoch
+	g.recordChange(id)
 	return true
 }
 
@@ -246,6 +268,43 @@ func (g *Graph) IncidentLinks(n NodeID) []LinkID {
 // link up/down transition), so an unchanged epoch guarantees unchanged
 // residual bandwidth on every link.
 func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// recordChange appends the link just stamped with the current epoch to
+// the change journal. Must be called immediately after an epoch bump.
+func (g *Graph) recordChange(id LinkID) {
+	if g.journalOff {
+		return
+	}
+	if g.journal == nil {
+		g.journal = make([]LinkID, journalCap)
+		g.journalLo = g.epoch
+	}
+	g.journal[(g.epoch-1)%journalCap] = id
+	if g.epoch-g.journalLo >= journalCap {
+		g.journalLo = g.epoch - journalCap + 1
+	}
+}
+
+// AppendChangesSince appends to buf the ID of every link changed after
+// epoch since (one entry per epoch bump, so a link changed k times
+// appears k times) and reports whether the journal covered the whole
+// gap. A false return means history was lost — the caller observed
+// since too long ago, journaling is off (forks), or the journal was
+// invalidated — and the caller must fall back to revalidating all of
+// its state. since >= the current epoch trivially succeeds with no
+// appends.
+func (g *Graph) AppendChangesSince(buf []LinkID, since uint64) ([]LinkID, bool) {
+	if since >= g.epoch {
+		return buf, true
+	}
+	if g.journalOff || g.journal == nil || since+1 < g.journalLo {
+		return buf, false
+	}
+	for v := since + 1; v <= g.epoch; v++ {
+		buf = append(buf, g.journal[(v-1)%journalCap])
+	}
+	return buf, true
+}
 
 // MaxVersion returns the largest link version across the given links.
 // Because versions are minted from the single graph epoch, the max over a
@@ -279,6 +338,10 @@ func (g *Graph) Fork() *Graph {
 		in:     g.in,
 		byPair: g.byPair,
 		epoch:  g.epoch,
+		// Trial planning hammers a fork's Reserve/Release; journaling
+		// there would only slow the hottest path for a stream nobody
+		// subscribes to.
+		journalOff: true,
 	}
 }
 
@@ -293,6 +356,11 @@ func (g *Graph) SyncFrom(src *Graph) {
 	}
 	copy(g.links, src.links)
 	g.epoch = src.epoch
+	// The epoch just jumped without per-change entries; drop any journal
+	// history so AppendChangesSince reports the gap instead of serving
+	// entries that never described this graph's transitions.
+	g.journal = nil
+	g.journalLo = 0
 }
 
 // validNode reports whether id is in range.

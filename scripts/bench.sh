@@ -24,6 +24,21 @@ if [ "$SOAK_RATE" != 0 ]; then
     -batch 16 -conns 4 -retries 3 -json 2>/dev/null) || soak=null
 fi
 
+# Codec comparison soak: the same offered rate through the JSON v1
+# codec and the pipelined binary v2 codec, so the wire-format win is
+# tracked release over release (CODEC_RATE=0 skips it). The watermark
+# is lifted out of the way: this measures transport, not backpressure.
+CODEC_RATE="${CODEC_RATE:-20000}"
+CODEC_DURATION="${CODEC_DURATION:-3s}"
+codec_v1=null
+codec_v2=null
+if [ "$CODEC_RATE" != 0 ]; then
+  codec_v1=$(go run ./cmd/loadgen -selfhost -codec v1 -rate "$CODEC_RATE" -duration "$CODEC_DURATION" \
+    -batch 128 -conns 4 -watermark 1000000 -json 2>/dev/null) || codec_v1=null
+  codec_v2=$(go run ./cmd/loadgen -selfhost -codec v2 -rate "$CODEC_RATE" -duration "$CODEC_DURATION" \
+    -batch 128 -conns 4 -watermark 1000000 -json 2>/dev/null) || codec_v2=null
+fi
+
 {
   printf '{\n'
   printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -57,6 +72,12 @@ fi
     }'
   printf '  ,"loadgen_soak":\n'
   printf '%s\n' "$soak" | sed 's/^/  /'
+  printf '  ,"codec_compare": {\n'
+  printf '  "v1":\n'
+  printf '%s\n' "$codec_v1" | sed 's/^/  /'
+  printf '  ,"v2":\n'
+  printf '%s\n' "$codec_v2" | sed 's/^/  /'
+  printf '  }\n'
   printf '}\n'
 } >"$OUT"
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Fails when a tier-1 micro-benchmark regresses beyond BENCH_TOLERANCE
+# (default 1.2, i.e. >20% slower) against the newest BENCH_<date>.json
+# baseline in the repo root.
+#
+# Raw ns/op is meaningless across machines, so every number is first
+# normalized by the run's BenchmarkAdmitFlow result — a small, stable
+# planner kernel that scales with the host like everything else here.
+# What the guard compares is each benchmark's ratio to AdmitFlow, now
+# vs at baseline time. Each benchmark runs BENCH_COUNT times (default
+# 3) and the minimum ns/op is used, which strips scheduler noise.
+#
+#   scripts/bench_guard.sh                 # guard against newest baseline
+#   BENCH_TOLERANCE=1.5 scripts/bench_guard.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BASELINE:-$(ls BENCH_*.json 2>/dev/null | sort | tail -1)}"
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+  echo "bench_guard: no BENCH_<date>.json baseline found; run scripts/bench.sh first" >&2
+  exit 0
+fi
+
+BENCH="${BENCH:-BenchmarkDecision|BenchmarkProbeEvent|BenchmarkNetworkFork|BenchmarkAdmitFlow}"
+BENCH_COUNT="${BENCH_COUNT:-3}"
+BENCHTIME="${BENCHTIME:-300ms}"
+TOLERANCE="${BENCH_TOLERANCE:-1.2}"
+
+echo "bench_guard: baseline $BASELINE, tolerance ${TOLERANCE}x (calibrated by BenchmarkAdmitFlow)"
+raw=$(go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$BENCH_COUNT" .)
+printf '%s\n' "$raw"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+printf '%s\n' "$raw" >"$tmp"
+
+python3 - "$BASELINE" "$TOLERANCE" "$tmp" <<'PY'
+import json, re, sys
+
+baseline_path, tolerance, raw_path = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+with open(baseline_path) as f:
+    doc = json.load(f)
+base = {b["name"]: float(b["ns_per_op"]) for b in doc["benchmarks"]}
+
+# Min-of-N current results, keyed by benchmark name sans -GOMAXPROCS.
+cur = {}
+for line in open(raw_path):
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", line)
+    if m:
+        name, ns = m.group(1), float(m.group(2))
+        cur[name] = min(cur.get(name, ns), ns)
+
+CAL = "BenchmarkAdmitFlow"
+if CAL not in cur or CAL not in base:
+    print(f"bench_guard: {CAL} missing from run or baseline; cannot calibrate", file=sys.stderr)
+    sys.exit(0)
+scale_cur, scale_base = cur[CAL], base[CAL]
+
+failed = []
+for name, ns in sorted(cur.items()):
+    if name == CAL or name not in base:
+        continue
+    ratio_now = ns / scale_cur
+    ratio_then = base[name] / scale_base
+    rel = ratio_now / ratio_then
+    verdict = "FAIL" if rel > tolerance else "ok"
+    print(f"bench_guard: {name}: {rel:.2f}x vs baseline ({verdict})")
+    if rel > tolerance:
+        failed.append(name)
+
+if failed:
+    print(f"bench_guard: REGRESSION beyond {tolerance}x: {', '.join(failed)}", file=sys.stderr)
+    sys.exit(1)
+print("bench_guard: all benchmarks within tolerance")
+PY
