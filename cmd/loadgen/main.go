@@ -13,7 +13,10 @@
 // With -addr, events target an already-running daemon; host endpoints
 // are discovered from its snapshot. With -selfhost, loadgen spins up an
 // in-process controller (same construction as cmd/updated) and drives
-// it over loopback — handy for smoke tests and benchmarks.
+// it over loopback — handy for smoke tests and benchmarks. Selfhost
+// runs can journal into a WAL (-wal-dir, -wal-sync) to measure append
+// overhead, and reopening the same directory measures restart recovery
+// (the summary's server stats carry wal_recovery_ms).
 //
 // Being open-loop, the arrival process never waits for the server: if
 // every connection is busy when a batch becomes due, the batch is shed
@@ -56,6 +59,7 @@ import (
 	"netupdate/internal/sim"
 	"netupdate/internal/topology"
 	"netupdate/internal/trace"
+	"netupdate/internal/wal"
 )
 
 func main() {
@@ -119,6 +123,8 @@ func run(args []string, stdout io.Writer) int {
 		k         = fs.Int("k", 4, "selfhost: fat-tree arity")
 		util      = fs.Float64("util", 0.3, "selfhost: background utilization target")
 		watermark = fs.Int("watermark", ctl.DefaultHighWatermark, "selfhost: queue high-watermark")
+		walDir    = fs.String("wal-dir", "", "selfhost: write-ahead log directory (empty = off); reopening a directory recovers first")
+		walSync   = fs.String("wal-sync", "group", "selfhost: WAL durability policy (always, group, off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -139,7 +145,7 @@ func run(args []string, stdout io.Writer) int {
 
 	target := *addr
 	if *selfhost {
-		srv, laddr, err := startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed)
+		srv, laddr, err := startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed, *walDir, *walSync)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
 			return 1
@@ -383,11 +389,24 @@ func discoverHosts(addr string) ([]int, error) {
 }
 
 // startSelfhost builds an in-process controller (the cmd/updated
-// construction) listening on an ephemeral loopback port.
-func startSelfhost(schedName string, alpha, k int, util float64, watermark int, seed int64) (*ctl.Server, string, error) {
+// construction) listening on an ephemeral loopback port. With walDir
+// set, the controller journals admissions there and recovers from any
+// existing history first — which is how scripts/bench.sh measures both
+// append overhead and restart-recovery time.
+func startSelfhost(schedName string, alpha, k int, util float64, watermark int, seed int64, walDir, walSync string) (*ctl.Server, string, error) {
 	scheduler, err := sched.New(schedName, sched.WithAlpha(alpha), sched.WithSeed(seed))
 	if err != nil {
 		return nil, "", err
+	}
+	var walLog *wal.Log
+	if walDir != "" {
+		policy, err := wal.ParseSyncPolicy(walSync)
+		if err != nil {
+			return nil, "", err
+		}
+		if walLog, err = wal.Open(walDir, wal.WithSync(policy)); err != nil {
+			return nil, "", err
+		}
 	}
 	ft, err := topology.NewFatTree(k, topology.Gbps)
 	if err != nil {
@@ -398,13 +417,36 @@ func startSelfhost(schedName string, alpha, k int, util float64, watermark int, 
 	if err != nil {
 		return nil, "", err
 	}
-	if util > 0 {
+	restoring := walLog != nil && walLog.Checkpoint() != nil
+	if util > 0 && !restoring {
 		if _, err := trace.FillBackground(net, gen, util, 0); err != nil && !errors.Is(err, trace.ErrTargetUnreachable) {
 			return nil, "", err
 		}
 	}
 	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
-	srv := ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(watermark))
+	var srv *ctl.Server
+	if walLog != nil {
+		meta := &wal.Meta{
+			Format:    wal.FormatVersion,
+			Scheduler: scheduler.Name(),
+			Seed:      seed,
+			K:         k,
+			Util:      util,
+			Watermark: watermark,
+		}
+		var rec *ctl.RecoveryInfo
+		srv, rec, err = ctl.NewServerWithWAL(planner, scheduler, sim.Config{},
+			ctl.WALConfig{Log: walLog, Meta: meta}, ctl.WithHighWatermark(watermark))
+		if err != nil {
+			return nil, "", err
+		}
+		if rec.Recovered {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost recovered from WAL: %d records replayed in %v\n",
+				rec.ReplayedRecords, rec.Elapsed.Round(time.Millisecond))
+		}
+	} else {
+		srv = ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(watermark))
+	}
 	l, err := netpkg.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		_ = srv.Close()

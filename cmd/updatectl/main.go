@@ -14,6 +14,14 @@
 //	updatectl -addr host:7421 fault link-down -link 12
 //	updatectl -addr host:7421 fault install-timeout -times 2
 //	updatectl -addr host:7421 -codec v2 stats          # binary v2 framing
+//	updatectl wal info /var/lib/updated/wal            # offline WAL inspection
+//	updatectl wal verify /var/lib/updated/wal
+//	updatectl wal dump /var/lib/updated/wal > records.jsonl
+//
+// wal inspects a daemon's write-ahead log directory without a server:
+// info prints the meta, checkpoint and segment layout, verify re-reads
+// every frame (CRC-checked) and reports torn tails, dump writes every
+// record after the checkpoint as JSON lines.
 //
 // submit reads JSON Lines (one event per line, the cmd/tracegen format),
 // submits every event, waits for completion, and prints per-event metrics.
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"netupdate/internal/ctl"
+	"netupdate/internal/wal"
 )
 
 func main() {
@@ -56,8 +65,12 @@ func run(args []string, stdout io.Writer) int {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace|fault")
+		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace|fault|wal")
 		return 2
+	}
+	if rest[0] == "wal" {
+		// Offline log inspection: no server, no dial.
+		return walCmd(rest[1:], stdout)
 	}
 
 	var client *ctl.Client
@@ -121,6 +134,12 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintf(stdout, "ingest         %d accepted, %d rejected, %d retried, %d batches (watermark %d)\n",
 			stats.IngestAccepted, stats.IngestRejected, stats.IngestRetried,
 			stats.IngestBatches, stats.IngestWatermark)
+		if stats.WALEnabled {
+			fmt.Fprintf(stdout, "wal            seq %d, %d appends, %d checkpoints (covered seq %d)\n",
+				stats.WALLastSeq, stats.WALAppends, stats.WALCheckpoints, stats.WALCheckpointSeq)
+			fmt.Fprintf(stdout, "recovery       %d records replayed in %d ms\n",
+				stats.WALReplayed, stats.WALRecoveryMs)
+		}
 		return 0
 
 	case "trace":
@@ -320,6 +339,85 @@ func submitAll(client *ctl.Client, in io.Reader, stdout io.Writer, timeout time.
 		printStatus(stdout, st)
 	}
 	return 0
+}
+
+// walCmd inspects a WAL directory offline: info, verify or dump.
+func walCmd(args []string, stdout io.Writer) int {
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "updatectl: wal needs a subcommand and a directory: wal info|verify|dump <dir>")
+		return 2
+	}
+	sub, dir := args[0], args[1]
+	log, err := wal.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: wal: %v\n", err)
+		return 1
+	}
+	switch sub {
+	case "info":
+		if m := log.Meta(); m != nil {
+			fmt.Fprintf(stdout, "meta        format %d, scheduler %s, seed %d, k=%d, util %.3f, watermark %d, tables %d\n",
+				m.Format, m.Scheduler, m.Seed, m.K, m.Util, m.Watermark, m.Tables)
+		} else {
+			fmt.Fprintln(stdout, "meta        (none: empty log)")
+		}
+		if ck := log.Checkpoint(); ck != nil {
+			fmt.Fprintf(stdout, "checkpoint  seq %d, vt %v, rounds %d, state %d bytes\n",
+				ck.ID.Seq, time.Duration(ck.ID.VT), ck.Rounds, len(ck.State))
+		} else {
+			fmt.Fprintln(stdout, "checkpoint  (none)")
+		}
+		for _, seg := range log.Segments() {
+			torn := ""
+			if seg.Truncated {
+				torn = " (torn tail)"
+			}
+			fmt.Fprintf(stdout, "segment     %s: base %d, %d records, last seq %d%s\n",
+				seg.Path, seg.Base, seg.Records, seg.LastSeq, torn)
+		}
+		fmt.Fprintf(stdout, "last seq    %d\n", log.LastSeq())
+		return 0
+
+	case "verify":
+		var events, faults int
+		info, err := log.Replay(0, func(rec *wal.Record) error {
+			switch rec.Type {
+			case wal.TypeEvent:
+				events++
+			case wal.TypeFault:
+				faults++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: wal verify: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "ok: %d records (%d events, %d faults), last seq %d\n",
+			info.Records, events, faults, info.LastSeq)
+		if info.Truncated {
+			fmt.Fprintln(stdout, "note: torn tail truncated after last valid frame")
+		}
+		return 0
+
+	case "dump":
+		after := int64(0)
+		if ck := log.Checkpoint(); ck != nil {
+			after = ck.ID.Seq
+		}
+		enc := json.NewEncoder(stdout)
+		if _, err := log.Replay(after, func(rec *wal.Record) error {
+			return enc.Encode(rec)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: wal dump: %v\n", err)
+			return 1
+		}
+		return 0
+
+	default:
+		fmt.Fprintf(os.Stderr, "updatectl: unknown wal subcommand %q (want info, verify or dump)\n", sub)
+		return 2
+	}
 }
 
 func printStatus(w io.Writer, st ctl.EventStatus) {

@@ -7,10 +7,16 @@
 //
 //	updated [-addr :7421] [-k 8] [-util 0.6] [-scheduler p-lmtf]
 //	        [-alpha 4] [-seed 1] [-telemetry-addr :9090]
+//	        [-wal-dir /var/lib/updated/wal] [-wal-sync group]
 //
 // With -telemetry-addr set, the daemon also serves live telemetry over
 // HTTP: Prometheus metrics on /metrics, expvar on /debug/vars, and
 // net/http/pprof on /debug/pprof/.
+//
+// With -wal-dir set, every admitted event and fault injection is
+// recorded in a write-ahead log before its submission is acknowledged;
+// restarting the daemon with the same flags and WAL directory recovers
+// the exact pre-crash state (checkpoint plus log-suffix replay).
 //
 // Submit work with cmd/updatectl or any client speaking line-delimited
 // JSON (see internal/ctl).
@@ -26,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"netupdate/internal/core"
 	"netupdate/internal/ctl"
@@ -38,6 +45,7 @@ import (
 	"netupdate/internal/sim"
 	"netupdate/internal/topology"
 	"netupdate/internal/trace"
+	"netupdate/internal/wal"
 )
 
 func main() {
@@ -62,6 +70,9 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		watermark = fs.Int("watermark", ctl.DefaultHighWatermark, "queue high-watermark: submissions past it are rejected with a retry-after hint")
 		tables    = fs.Int("tables", -1, "attach per-switch rule tables with this capacity (0 = unlimited, -1 = off)")
 		telemetry = fs.String("telemetry-addr", "", "HTTP telemetry address serving /metrics, /debug/vars and /debug/pprof (empty = off)")
+		walDir    = fs.String("wal-dir", "", "write-ahead log directory for durable admission and crash recovery (empty = off)")
+		walSync   = fs.String("wal-sync", "group", "WAL durability policy: always (fsync per record), group (fsync per commit batch), off (no fsync)")
+		walCkpt   = fs.Int("wal-checkpoint-every", ctl.DefaultCheckpointEvery, "records between automatic WAL checkpoints (<0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +83,24 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		// The typed error lists every registered scheduler.
 		fmt.Fprintf(os.Stderr, "updated: %v\n", err)
 		return 2
+	}
+
+	// Open the WAL before building the world: whether it holds a
+	// checkpoint decides whether the background fill runs (a checkpoint
+	// restores its own flows; replay without one folds against the
+	// freshly filled genesis network).
+	var walLog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: %v\n", err)
+			return 2
+		}
+		walLog, err = wal.Open(*walDir, wal.WithSync(policy))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: wal: %v\n", err)
+			return 1
+		}
 	}
 
 	ft, err := topology.NewFatTree(*k, topology.Gbps)
@@ -92,17 +121,46 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintf(os.Stderr, "updated: %v\n", err)
 		return 1
 	}
-	if *util > 0 {
+	restoring := walLog != nil && walLog.Checkpoint() != nil
+	if *util > 0 && !restoring {
 		placed, err := trace.FillBackground(net, gen, *util, 0)
 		if err != nil && !errors.Is(err, trace.ErrTargetUnreachable) {
 			fmt.Fprintf(os.Stderr, "updated: background: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "updated: background %d flows, utilization %.3f\n", len(placed), net.Utilization())
+	} else if restoring {
+		fmt.Fprintf(stdout, "updated: background fill skipped, restoring from checkpoint\n")
 	}
 
 	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
-	srv := ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(*watermark))
+	var srv *ctl.Server
+	if walLog != nil {
+		meta := &wal.Meta{
+			Format:    wal.FormatVersion,
+			Scheduler: scheduler.Name(),
+			Seed:      *seed,
+			K:         *k,
+			Util:      *util,
+			Watermark: *watermark,
+			Tables:    *tables,
+		}
+		var rec *ctl.RecoveryInfo
+		srv, rec, err = ctl.NewServerWithWAL(planner, scheduler, sim.Config{},
+			ctl.WALConfig{Log: walLog, Meta: meta, CheckpointEvery: *walCkpt},
+			ctl.WithHighWatermark(*watermark))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: wal recovery: %v\n", err)
+			return 1
+		}
+		if rec.Recovered {
+			fmt.Fprintf(stdout, "updated: recovered from WAL: checkpoint seq %d, %d records replayed, last seq %d (%v)\n",
+				rec.CheckpointSeq, rec.ReplayedRecords, rec.LastSeq, rec.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintf(stdout, "updated: wal in %s (sync=%s)\n", *walDir, *walSync)
+	} else {
+		srv = ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(*watermark))
+	}
 
 	var telemetrySrv *http.Server
 	if *telemetry != "" {

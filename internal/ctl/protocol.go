@@ -254,6 +254,15 @@ type Stats struct {
 	CodecV2Conns int64 `json:"codec_v2_conns"`
 	FramesV1     int64 `json:"frames_v1"`
 	FramesV2     int64 `json:"frames_v2"`
+	// WAL / recovery telemetry (all zero when the daemon runs without a
+	// write-ahead log).
+	WALEnabled       bool  `json:"wal_enabled,omitempty"`
+	WALLastSeq       int64 `json:"wal_last_seq,omitempty"`
+	WALCheckpointSeq int64 `json:"wal_checkpoint_seq,omitempty"`
+	WALAppends       int64 `json:"wal_appends,omitempty"`
+	WALCheckpoints   int64 `json:"wal_checkpoints,omitempty"`
+	WALReplayed      int64 `json:"wal_replayed,omitempty"`
+	WALRecoveryMs    int64 `json:"wal_recovery_ms,omitempty"`
 }
 
 // SubmitVerdict is one event's outcome within an OpSubmitBatch

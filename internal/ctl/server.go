@@ -18,6 +18,7 @@ import (
 	"netupdate/internal/sim"
 	"netupdate/internal/snapshot"
 	"netupdate/internal/topology"
+	"netupdate/internal/wal"
 )
 
 // Server owns live network state and schedules submitted update events.
@@ -27,6 +28,7 @@ import (
 type Server struct {
 	engine    *sim.Engine
 	planner   *core.Planner
+	sched     sched.Scheduler
 	scheduler string
 	numNodes  int
 
@@ -40,6 +42,27 @@ type Server struct {
 	// watermark bounds the update queue: submissions arriving at or past
 	// it are rejected with a typed overload response instead of queued.
 	watermark int
+
+	// Event table: every event the server ever admitted (or minted from a
+	// fault), in admission order. State-loop confined once the loop runs;
+	// fields (not loop locals) so WAL recovery can seed them beforehand.
+	events map[int64]*core.Event
+	order  []int64
+	nextID int64
+
+	// Durable write-ahead log (nil when disabled). State-loop confined
+	// once the loop runs: stageSubmit appends admitted events, flush
+	// group-commits before replies go out (append-before-ack), and the
+	// checkpoint cadence rotates segments. A WAL write failure is
+	// fail-stop: continuing without durability would silently break the
+	// recovery contract, so the state loop panics instead.
+	walLog    *wal.Log
+	wal       *wal.Writer
+	walMeta   wal.Meta
+	walSeq    int64
+	ckptEvery int
+	sinceCkpt int
+	walMet    *obs.WALMetrics
 
 	cmds    chan command
 	closing chan struct{}
@@ -94,14 +117,26 @@ func WithHighWatermark(n int) ServerOption {
 // NewServer wraps a planner (owning a prepared network) and a scheduler.
 // cfg is the virtual timing model used to compute per-event metrics.
 func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config, opts ...ServerOption) *Server {
+	s := newServer(planner, scheduler, cfg, opts...)
+	s.start()
+	return s
+}
+
+// newServer builds a server without starting its state loop, so WAL
+// recovery (NewServerWithWAL) can replay history into the engine while
+// it is still single-threaded.
+func newServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config, opts ...ServerOption) *Server {
 	s := &Server{
 		engine:    sim.NewEngine(planner, scheduler, cfg),
 		planner:   planner,
+		sched:     scheduler,
 		scheduler: scheduler.Name(),
 		numNodes:  planner.Network().Graph().NumNodes(),
 		registry:  obs.NewRegistry(),
 		ring:      obs.NewRingSink(traceRingSize),
 		watermark: DefaultHighWatermark,
+		events:    make(map[int64]*core.Event),
+		nextID:    1,
 		cmds:      make(chan command, cmdBacklog),
 		closing:   make(chan struct{}),
 		loopStop:  make(chan struct{}),
@@ -115,9 +150,13 @@ func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config,
 	// Attach the tracer before the state loop starts so the engine never
 	// sees a concurrent SetTracer.
 	s.engine.SetTracer(obs.NewTracer(s.ring, obs.NewSimMetrics(s.registry)))
+	return s
+}
+
+// start launches the state loop. Call exactly once, after any recovery.
+func (s *Server) start() {
 	s.loop.Add(1)
 	go s.stateLoop()
-	return s
 }
 
 // Registry exposes the server's metric registry, e.g. for mounting
@@ -199,6 +238,13 @@ func (s *Server) Close() error {
 	s.conns.Wait()
 	close(s.loopStop)
 	s.loop.Wait()
+	// The state loop has exited; flush and close the WAL so everything
+	// appended is durable before the process goes away.
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
@@ -348,9 +394,6 @@ func (s *Server) dispatch(req Request) Response {
 // admitted into the scheduler queue in bulk rather than one per wakeup.
 func (s *Server) stateLoop() {
 	defer s.loop.Done()
-	events := make(map[int64]*core.Event)
-	var order []int64
-	var nextID int64 = 1
 	var batch []command
 
 	for {
@@ -392,7 +435,8 @@ func (s *Server) stateLoop() {
 				draining = false
 			}
 		}
-		s.handleBatch(batch, events, &order, &nextID)
+		s.handleBatch(batch)
+		s.maybeCheckpoint()
 	}
 }
 
@@ -420,13 +464,16 @@ func (s *Server) drainOnClose() {
 // again at batch end. Replies for staged submissions are withheld until
 // their events are actually enqueued, so a client that got an OK can
 // immediately query the event's status.
-func (s *Server) handleBatch(batch []command, events map[int64]*core.Event, order *[]int64, nextID *int64) {
+func (s *Server) handleBatch(batch []command) {
 	var staged []*core.Event
 	var pending []command
 	var replies []Response
 	flush := func() {
 		s.engine.EnqueueBatch(staged)
 		staged = staged[:0]
+		// Append-before-ack: the WAL records for every staged admission
+		// must be durable (per the sync policy) before any OK goes out.
+		s.walCommit()
 		for i, cmd := range pending {
 			cmd.reply <- replies[i]
 		}
@@ -436,10 +483,10 @@ func (s *Server) handleBatch(batch []command, events map[int64]*core.Event, orde
 		switch cmd.req.Op {
 		case OpSubmit, OpSubmitBatch:
 			pending = append(pending, cmd)
-			replies = append(replies, s.stageSubmit(cmd.req, &staged, events, order, nextID))
+			replies = append(replies, s.stageSubmit(cmd.req, &staged))
 		default:
 			flush()
-			cmd.reply <- s.handleRequest(cmd.req, events, order, nextID)
+			cmd.reply <- s.handleRequest(cmd.req)
 		}
 	}
 	flush()
@@ -449,7 +496,7 @@ func (s *Server) handleBatch(batch []command, events map[int64]*core.Event, orde
 // submit-batch request, applying the watermark policy against the
 // effective depth (queued plus already staged). It returns the response
 // to send once the staged events have been enqueued.
-func (s *Server) stageSubmit(req Request, staged *[]*core.Event, events map[int64]*core.Event, order *[]int64, nextID *int64) Response {
+func (s *Server) stageSubmit(req Request, staged *[]*core.Event) Response {
 	specs := req.Events
 	if req.Op == OpSubmit {
 		specs = []EventSpec{*req.Event}
@@ -457,6 +504,7 @@ func (s *Server) stageSubmit(req Request, staged *[]*core.Event, events map[int6
 	verdicts := make([]SubmitVerdict, len(specs))
 	var overload *OverloadInfo
 	var accepted int64
+	var recs []wal.Record
 	for i := range specs {
 		if err := specs[i].Validate(s.numNodes); err != nil {
 			verdicts[i] = SubmitVerdict{Error: err.Error()}
@@ -470,8 +518,8 @@ func (s *Server) stageSubmit(req Request, staged *[]*core.Event, events map[int6
 			s.ingest.Rejected.Inc()
 			continue
 		}
-		id := *nextID
-		*nextID++
+		id := s.nextID
+		s.nextID++
 		flows := make([]flow.Spec, len(specs[i].Flows))
 		for j, f := range specs[i].Flows {
 			flows[j] = flow.Spec{
@@ -486,11 +534,31 @@ func (s *Server) stageSubmit(req Request, staged *[]*core.Event, events map[int6
 			kind = "submitted"
 		}
 		ev := core.NewEvent(flow.EventID(id), kind, s.engine.Clock(), flows)
-		events[id] = ev
-		*order = append(*order, id)
+		s.events[id] = ev
+		s.order = append(s.order, id)
 		*staged = append(*staged, ev)
 		verdicts[i] = SubmitVerdict{OK: true, EventID: id}
 		accepted++
+		if s.wal != nil {
+			rec := wal.Record{
+				Type:   wal.TypeEvent,
+				ID:     wal.ID{VT: int64(ev.Arrival)},
+				Rounds: s.engine.Rounds(),
+				Event: &wal.EventRecord{
+					EventID: id,
+					Kind:    kind,
+					Retry:   req.Retry,
+					Flows:   make([]wal.FlowSpec, len(specs[i].Flows)),
+				},
+			}
+			for j, f := range specs[i].Flows {
+				rec.Event.Flows[j] = wal.FlowSpec{
+					Src: f.Src, Dst: f.Dst,
+					DemandBps: f.DemandBps, SizeBytes: f.SizeBytes,
+				}
+			}
+			recs = append(recs, rec)
+		}
 	}
 	if accepted > 0 {
 		s.ingest.Accepted.Add(accepted)
@@ -498,6 +566,16 @@ func (s *Server) stageSubmit(req Request, staged *[]*core.Event, events map[int6
 		s.ingest.BatchSize.Observe(accepted)
 		if req.Retry {
 			s.ingest.Retried.Add(accepted)
+		}
+	}
+	if len(recs) > 0 {
+		// One request, one batch stamp: the first record carries how many
+		// events the request admitted, so replay can restore the batch
+		// counters. Sequence numbers are assigned at append time — the
+		// state loop is the only appender, so the records land contiguous.
+		recs[0].Event.BatchSize = int(accepted)
+		for i := range recs {
+			s.walAppend(&recs[i])
 		}
 	}
 	if req.Op == OpSubmit {
@@ -532,13 +610,13 @@ func (s *Server) overloadInfo(depth int) *OverloadInfo {
 }
 
 // handleRequest executes one request against the state (state loop only).
-func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order *[]int64, nextID *int64) Response {
+func (s *Server) handleRequest(req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{OK: true}
 
 	case OpStatus:
-		ev, ok := events[req.EventID]
+		ev, ok := s.events[req.EventID]
 		if !ok {
 			return Response{OK: true, Status: &EventStatus{EventID: req.EventID, State: StateUnknown}}
 		}
@@ -547,8 +625,8 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 
 	case OpResults:
 		var results []EventStatus
-		for _, id := range *order {
-			if ev := events[id]; ev.Done {
+		for _, id := range s.order {
+			if ev := s.events[id]; ev.Done {
 				results = append(results, statusOf(id, ev))
 			}
 		}
@@ -561,7 +639,7 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 		col := s.engine.Collector()
 		net := s.planner.Network()
 		met := s.engine.Tracer().Metrics()
-		return Response{OK: true, Stats: &Stats{
+		st := &Stats{
 			Scheduler:               s.scheduler,
 			Utilization:             net.Utilization(),
 			FlowsPlaced:             len(net.Registry().Placed()),
@@ -593,7 +671,17 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 			CodecV2Conns:            s.ingest.CodecV2Conns.Value(),
 			FramesV1:                s.ingest.FramesV1.Value(),
 			FramesV2:                s.ingest.FramesV2.Value(),
-		}}
+		}
+		if s.walMet != nil {
+			st.WALEnabled = true
+			st.WALLastSeq = s.walMet.LastSeq.Value()
+			st.WALCheckpointSeq = s.walMet.CheckpointSeq.Value()
+			st.WALAppends = s.walMet.Appends.Value()
+			st.WALCheckpoints = s.walMet.Checkpoints.Value()
+			st.WALReplayed = s.walMet.Replayed.Value()
+			st.WALRecoveryMs = s.walMet.RecoveryMs.Value()
+		}
+		return Response{OK: true, Stats: st}
 
 	case OpTrace:
 		return Response{OK: true, Trace: s.ring.Last(req.N)}
@@ -620,11 +708,40 @@ func (s *Server) handleRequest(req Request, events map[int64]*core.Event, order 
 		// report its recovery like any submitted event.
 		if ev := out.RepairEvent; ev != nil {
 			id := int64(ev.ID)
-			events[id] = ev
-			*order = append(*order, id)
+			s.events[id] = ev
+			s.order = append(s.order, id)
 			res.RepairEventID = id
 		}
+		if s.wal != nil {
+			rec := wal.Record{
+				Type:   wal.TypeFault,
+				ID:     wal.ID{VT: int64(s.engine.Clock())},
+				Rounds: s.engine.Rounds(),
+				Fault: &wal.FaultRecord{
+					Action:        string(out.Action),
+					Link:          req.Fault.Link,
+					Node:          req.Fault.Node,
+					Event:         req.Fault.Event,
+					Times:         req.Fault.Times,
+					RepairEventID: res.RepairEventID,
+				},
+			}
+			s.walAppend(&rec)
+			// Faults reply directly (not through flush), so commit here:
+			// the injection already mutated live state and must survive a
+			// crash that follows this ack.
+			s.walCommit()
+		}
 		return Response{OK: true, Fault: res}
+
+	case opCheckpoint:
+		if s.wal == nil {
+			return Response{OK: false, Error: "ctl: WAL disabled"}
+		}
+		if err := s.doCheckpoint(); err != nil {
+			return Response{OK: false, Error: fmt.Sprintf("ctl: checkpoint: %v", err)}
+		}
+		return Response{OK: true, EventID: s.walSeq}
 
 	default:
 		return Response{OK: false, Error: fmt.Sprintf("%v: unknown op %q", ErrBadRequest, req.Op)}

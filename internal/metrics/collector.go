@@ -103,6 +103,13 @@ func NewCollector() *Collector { return &Collector{} }
 // Add appends a completed event record.
 func (c *Collector) Add(r EventRecord) { c.records = append(c.records, r) }
 
+// Restore replaces the record list with a checkpointed one (completion
+// order preserved). Scalar counters are exported fields and are
+// restored by direct assignment; this covers the unexported records.
+func (c *Collector) Restore(records []EventRecord) {
+	c.records = append(c.records[:0], records...)
+}
+
 // Len returns the number of recorded events.
 func (c *Collector) Len() int { return len(c.records) }
 

@@ -88,6 +88,10 @@ func (n *Network) SyncFrom(src *Network) {
 // Provider returns the routing provider.
 func (n *Network) Provider() routing.Provider { return n.provider }
 
+// Selector returns the path selector (checkpoint recovery restores its
+// RNG position through it).
+func (n *Network) Selector() routing.Selector { return n.selector }
+
 // Registry returns the flow registry (shared, live state).
 func (n *Network) Registry() *flow.Registry { return n.reg }
 

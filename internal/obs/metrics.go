@@ -200,6 +200,37 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// HistogramState is a serializable snapshot of a histogram's raw
+// per-bucket counts (not cumulative), used by checkpoint/recovery to
+// carry observation streams across a restart.
+type HistogramState struct {
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// State captures the histogram for checkpointing.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{Counts: make([]int64, len(h.counts)), Sum: h.Sum(), Count: h.Count()}
+	for i := range h.counts {
+		st.Counts[i] = h.counts[i].Load()
+	}
+	return st
+}
+
+// Restore adds a checkpointed state into the histogram. It is meant for
+// a freshly registered histogram during recovery; bucket layouts must
+// match (extra or missing buckets are ignored rather than guessed at).
+func (h *Histogram) Restore(st HistogramState) {
+	for i, c := range st.Counts {
+		if i < len(h.counts) {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(st.Sum)
+	h.count.Add(st.Count)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -427,6 +458,41 @@ func NewIngestMetrics(r *Registry) *IngestMetrics {
 			"Connections currently speaking the binary v2 framing."),
 		FramesV1: r.NewCounter("netupdate_ingest_frames_v1_total", "Requests decoded from the JSON v1 codec."),
 		FramesV2: r.NewCounter("netupdate_ingest_frames_v2_total", "Requests decoded from the binary v2 codec."),
+	}
+}
+
+// WALMetrics is the live metric set of the write-ahead log and its
+// recovery path: append/commit/fsync activity, checkpoint progress, and
+// what the last recovery replayed and how long it took.
+type WALMetrics struct {
+	Appends *Counter
+	Bytes   *Counter
+	Commits *Counter
+	Syncs   *Counter
+
+	Checkpoints   *Counter
+	CheckpointSeq *Gauge
+	LastSeq       *Gauge
+
+	Replayed   *Counter
+	RecoveryMs *Gauge
+}
+
+// NewWALMetrics registers the WAL metric set under the "netupdate_wal_"
+// prefix. It is only registered when the daemon runs with a WAL.
+func NewWALMetrics(r *Registry) *WALMetrics {
+	return &WALMetrics{
+		Appends: r.NewCounter("netupdate_wal_appends_total", "Records appended to the write-ahead log."),
+		Bytes:   r.NewCounter("netupdate_wal_bytes_total", "Bytes written to the write-ahead log (frames included)."),
+		Commits: r.NewCounter("netupdate_wal_commits_total", "Group commits of appended WAL records."),
+		Syncs:   r.NewCounter("netupdate_wal_syncs_total", "fsync calls issued by the WAL writer."),
+
+		Checkpoints:   r.NewCounter("netupdate_wal_checkpoints_total", "Checkpoints taken (log truncations)."),
+		CheckpointSeq: r.NewGauge("netupdate_wal_checkpoint_seq", "Log sequence covered by the newest checkpoint."),
+		LastSeq:       r.NewGauge("netupdate_wal_last_seq", "Sequence number of the last appended WAL record."),
+
+		Replayed:   r.NewCounter("netupdate_wal_replayed_records", "Records replayed from the log during the last recovery."),
+		RecoveryMs: r.NewGauge("netupdate_wal_recovery_ms", "Wall-clock milliseconds the last recovery took."),
 	}
 }
 

@@ -3,6 +3,7 @@ package routing
 import (
 	"math/rand"
 
+	"netupdate/internal/detrand"
 	"netupdate/internal/topology"
 )
 
@@ -58,17 +59,27 @@ func (WidestFit) Select(g *topology.Graph, candidates []Path, demand topology.Ba
 }
 
 // RandomFit selects uniformly at random among the feasible candidates,
-// modeling hash-based ECMP spraying. It is deterministic under its seed.
+// modeling hash-based ECMP spraying. It is deterministic under its seed,
+// and its RNG position is checkpointable via RNGDraws/RestoreRNG.
 type RandomFit struct {
 	rng *rand.Rand
+	src *detrand.CountedSource
 }
 
 var _ Selector = (*RandomFit)(nil)
 
 // NewRandomFit returns a RandomFit driven by the given seed.
 func NewRandomFit(seed int64) *RandomFit {
-	return &RandomFit{rng: rand.New(rand.NewSource(seed))}
+	src := detrand.New(seed)
+	return &RandomFit{rng: rand.New(src), src: src}
 }
+
+// RNGDraws returns the number of RNG draws consumed so far.
+func (s *RandomFit) RNGDraws() int64 { return s.src.Draws() }
+
+// RestoreRNG repositions the RNG stream at the given draw count
+// (checkpoint recovery).
+func (s *RandomFit) RestoreRNG(draws int64) { s.src.Restore(draws) }
 
 // Select implements Selector.
 func (s *RandomFit) Select(g *topology.Graph, candidates []Path, demand topology.Bandwidth) (Path, bool) {

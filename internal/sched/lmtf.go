@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"netupdate/internal/core"
+	"netupdate/internal/detrand"
 	"netupdate/internal/topology"
 )
 
@@ -30,6 +31,7 @@ type LMTF struct {
 	// Alpha is the sample size (>= 1).
 	Alpha int
 	rng   *rand.Rand
+	src   *detrand.CountedSource
 	// probes is the requested probe concurrency (0 = GOMAXPROCS,
 	// 1 = serial).
 	probes int
@@ -54,8 +56,16 @@ func NewLMTF(alpha int, seed int64) *LMTF {
 	if alpha == 0 {
 		alpha = DefaultAlpha
 	}
-	return &LMTF{Alpha: alpha, rng: rand.New(rand.NewSource(seed))}
+	src := detrand.New(seed)
+	return &LMTF{Alpha: alpha, rng: rand.New(src), src: src}
 }
+
+// RNGDraws returns the number of sampling RNG draws consumed so far.
+func (s *LMTF) RNGDraws() int64 { return s.src.Draws() }
+
+// RestoreRNG repositions the sampling RNG at the given draw count
+// (checkpoint recovery).
+func (s *LMTF) RestoreRNG(draws int64) { s.src.Restore(draws) }
 
 // Name implements Scheduler.
 func (s *LMTF) Name() string { return fmt.Sprintf("lmtf(a=%d)", s.Alpha) }

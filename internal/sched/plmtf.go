@@ -45,6 +45,13 @@ func (s *PLMTF) Name() string {
 // Alpha returns the sample size.
 func (s *PLMTF) Alpha() int { return s.inner.Alpha }
 
+// RNGDraws returns the number of sampling RNG draws consumed so far.
+func (s *PLMTF) RNGDraws() int64 { return s.inner.RNGDraws() }
+
+// RestoreRNG repositions the sampling RNG at the given draw count
+// (checkpoint recovery).
+func (s *PLMTF) RestoreRNG(draws int64) { s.inner.RestoreRNG(draws) }
+
 // SetScanAll makes the scheduler offer every queued event for
 // opportunistic co-scheduling instead of only the sampled candidates.
 // The executor probes each offered event, so this multiplies planning

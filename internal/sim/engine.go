@@ -45,6 +45,11 @@ type Engine struct {
 	dropped   map[flow.ID]struct{}
 	repairSeq int64
 
+	// probeBase is the probe-counter baseline restored from a checkpoint
+	// (zero otherwise): the recovered probe engine counts from zero, so
+	// syncProbeStats adds the pre-crash totals back in.
+	probeBase ProbeBase
+
 	// obs is the optional observability tracer (nil = disabled; every
 	// instrumentation hook below reduces to one nil check).
 	obs    *obs.Tracer
@@ -432,18 +437,18 @@ func (e *Engine) syncProbeStats() {
 		return
 	}
 	st := pe.Stats()
-	e.collector.ProbeCacheHits = st.Hits
-	e.collector.ProbeCacheMisses = st.Misses
-	e.collector.ProbeCold = st.Cold
-	e.collector.ProbeIncremental = st.Incremental
-	e.collector.ProbeJournalMisses = st.JournalMisses
-	e.collector.ProbeForks = st.Forks
-	e.collector.ProbeResyncs = st.Resyncs
-	e.collector.ProbeWallTime = st.ProbeTime
+	e.collector.ProbeCacheHits = e.probeBase.Hits + st.Hits
+	e.collector.ProbeCacheMisses = e.probeBase.Misses + st.Misses
+	e.collector.ProbeCold = e.probeBase.Cold + st.Cold
+	e.collector.ProbeIncremental = e.probeBase.Incremental + st.Incremental
+	e.collector.ProbeJournalMisses = e.probeBase.JournalMisses + st.JournalMisses
+	e.collector.ProbeForks = e.probeBase.Forks + st.Forks
+	e.collector.ProbeResyncs = e.probeBase.Resyncs + st.Resyncs
+	e.collector.ProbeWallTime = time.Duration(e.probeBase.WallTimeNs) + st.ProbeTime
 	if e.obs != nil {
 		if m := e.obs.Metrics(); m != nil {
-			m.SetProbeStats(int64(st.Hits), int64(st.Misses))
-			m.SetProbeDetail(int64(st.Cold), int64(st.Incremental))
+			m.SetProbeStats(int64(e.collector.ProbeCacheHits), int64(e.collector.ProbeCacheMisses))
+			m.SetProbeDetail(int64(e.collector.ProbeCold), int64(e.collector.ProbeIncremental))
 		}
 	}
 }

@@ -57,6 +57,9 @@ type Snapshot struct {
 	Nodes   []Node `json:"nodes"`
 	Links   []Link `json:"links"`
 	Flows   []Flow `json:"flows"`
+	// DownLinks lists currently failed links by index, so a restored
+	// world routes around the same failures the captured one did.
+	DownLinks []int `json:"down_links,omitempty"`
 }
 
 // Capture serializes the network's graph and flows.
@@ -73,6 +76,9 @@ func Capture(net *netstate.Network) *Snapshot {
 			To:          int(l.To),
 			CapacityBps: int64(l.Capacity),
 		})
+		if l.Down() {
+			snap.DownLinks = append(snap.DownLinks, i)
+		}
 	}
 	for _, f := range net.Registry().All() {
 		sf := Flow{
@@ -131,6 +137,49 @@ func Restore(s *Snapshot) (*netstate.Network, error) {
 		}
 	}
 	net := netstate.New(g, routing.NewBFSProvider(g, 0), nil)
+	if _, err := Populate(net, s); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Populate restores a snapshot's flows and link failures into an
+// existing, flow-free network whose graph must match the snapshot's
+// shape (node count, link count, endpoints, capacities). This is the
+// checkpoint-recovery path: the daemon rebuilds its world from
+// configuration — keeping its own path provider, selector and rule
+// tables — and Populate replays the captured state onto it.
+//
+// The returned slice holds the restored flows in snapshot order, so
+// callers can resolve snapshot flow indices (engine release entries
+// are recorded that way).
+func Populate(net *netstate.Network, s *Snapshot) ([]*flow.Flow, error) {
+	g := net.Graph()
+	if g.NumNodes() != len(s.Nodes) {
+		return nil, fmt.Errorf("%w: graph has %d nodes, snapshot %d", ErrBadSnapshot, g.NumNodes(), len(s.Nodes))
+	}
+	if g.NumLinks() != len(s.Links) {
+		return nil, fmt.Errorf("%w: graph has %d links, snapshot %d", ErrBadSnapshot, g.NumLinks(), len(s.Links))
+	}
+	if n := len(net.Registry().All()); n != 0 {
+		return nil, fmt.Errorf("%w: target network already holds %d flows", ErrBadSnapshot, n)
+	}
+	for i, sl := range s.Links {
+		l := g.Link(topology.LinkID(i))
+		if int(l.From) != sl.From || int(l.To) != sl.To || int64(l.Capacity) != sl.CapacityBps {
+			return nil, fmt.Errorf("%w: link %d is %v, snapshot says %d->%d cap %d",
+				ErrBadSnapshot, i, l, sl.From, sl.To, sl.CapacityBps)
+		}
+	}
+	// Fail links before placing: snapshot flows never cross down links,
+	// and placement re-validates that.
+	for _, dl := range s.DownLinks {
+		if dl < 0 || dl >= g.NumLinks() {
+			return nil, fmt.Errorf("%w: down link %d out of range", ErrBadSnapshot, dl)
+		}
+		g.SetLinkDown(topology.LinkID(dl), true)
+	}
+	flows := make([]*flow.Flow, 0, len(s.Flows))
 	for i, sf := range s.Flows {
 		f, err := net.AddFlow(flow.Spec{
 			Src:    topology.NodeID(sf.Src),
@@ -142,6 +191,7 @@ func Restore(s *Snapshot) (*netstate.Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: flow %d: %v", ErrBadSnapshot, i, err)
 		}
+		flows = append(flows, f)
 		if len(sf.PathLinks) == 0 {
 			continue
 		}
@@ -160,5 +210,5 @@ func Restore(s *Snapshot) (*netstate.Network, error) {
 			return nil, fmt.Errorf("%w: flow %d placement: %v", ErrBadSnapshot, i, err)
 		}
 	}
-	return net, nil
+	return flows, nil
 }

@@ -1,0 +1,230 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Frame layout:
+//
+//	u32  payload length (little endian)
+//	u32  CRC-32C (Castagnoli) of the payload bytes
+//	payload
+//
+// Payload layout (common header, then a per-type body):
+//
+//	u8   record type
+//	u64  seq
+//	u64  vt      (engine virtual clock, ns)
+//	u64  rounds  (engine completed rounds at admission)
+//	body
+//
+// Event bodies are dense binary — they are the hot path, appended once
+// per admitted event under the ingest pipeline. Meta and fault bodies
+// are JSON: they are rare (one meta per segment, one fault per operator
+// action) and benefit from being self-describing.
+//
+// Event body:
+//
+//	u8   flags (bit 0: retry)
+//	u32  batch size (0 unless first record of an accepted request)
+//	u64  event ID
+//	u8   kind length, then kind bytes
+//	u16  flow count, then per flow: u32 src, u32 dst, u64 demand, u64 size
+
+const (
+	frameHeaderSize = 8
+	recHeaderSize   = 1 + 8 + 8 + 8
+
+	// maxFramePayload bounds a frame so a corrupt length prefix cannot
+	// drive a giant allocation. Checkpoint state lives outside the log,
+	// so real payloads are small (a meta record or one event's flows).
+	maxFramePayload = 1 << 24
+
+	eventFlagRetry = 1 << 0
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame encodes rec as one frame and appends it to dst.
+func AppendFrame(dst []byte, rec *Record) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+
+	p := len(dst)
+	dst = append(dst, byte(rec.Type))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.ID.Seq))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.ID.VT))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.Rounds))
+
+	switch rec.Type {
+	case TypeEvent:
+		ev := rec.Event
+		if ev == nil {
+			return dst, fmt.Errorf("wal: event record without event payload")
+		}
+		if len(ev.Kind) > math.MaxUint8 {
+			return dst, fmt.Errorf("wal: event kind %q too long", ev.Kind)
+		}
+		if len(ev.Flows) > math.MaxUint16 {
+			return dst, fmt.Errorf("wal: event has %d flows, max %d", len(ev.Flows), math.MaxUint16)
+		}
+		var flags byte
+		if ev.Retry {
+			flags |= eventFlagRetry
+		}
+		dst = append(dst, flags)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.BatchSize))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.EventID))
+		dst = append(dst, byte(len(ev.Kind)))
+		dst = append(dst, ev.Kind...)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(ev.Flows)))
+		for _, f := range ev.Flows {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Src))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Dst))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(f.DemandBps))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(f.SizeBytes))
+		}
+	case TypeMeta:
+		if rec.Meta == nil {
+			return dst, fmt.Errorf("wal: meta record without meta payload")
+		}
+		body, err := json.Marshal(rec.Meta)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, body...)
+	case TypeFault:
+		if rec.Fault == nil {
+			return dst, fmt.Errorf("wal: fault record without fault payload")
+		}
+		body, err := json.Marshal(rec.Fault)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, body...)
+	default:
+		return dst, fmt.Errorf("wal: unknown record type %d", rec.Type)
+	}
+
+	payload := dst[p:]
+	if len(payload) > maxFramePayload {
+		return dst, fmt.Errorf("wal: frame payload %d exceeds cap %d", len(payload), maxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+// DecodePayload decodes one frame payload (the bytes after the frame
+// header, already CRC-verified) into a Record.
+func DecodePayload(payload []byte) (*Record, error) {
+	if len(payload) < recHeaderSize {
+		return nil, fmt.Errorf("%w: payload %d bytes, want at least %d", ErrCorrupt, len(payload), recHeaderSize)
+	}
+	rec := &Record{Type: Type(payload[0])}
+	rec.ID.Seq = int64(binary.LittleEndian.Uint64(payload[1:]))
+	rec.ID.VT = int64(binary.LittleEndian.Uint64(payload[9:]))
+	rec.Rounds = int64(binary.LittleEndian.Uint64(payload[17:]))
+	body := payload[recHeaderSize:]
+
+	switch rec.Type {
+	case TypeEvent:
+		ev, err := decodeEventBody(body)
+		if err != nil {
+			return nil, err
+		}
+		rec.Event = ev
+	case TypeMeta:
+		m := &Meta{}
+		if err := json.Unmarshal(body, m); err != nil {
+			return nil, fmt.Errorf("%w: bad meta body: %v", ErrCorrupt, err)
+		}
+		rec.Meta = m
+	case TypeFault:
+		f := &FaultRecord{}
+		if err := json.Unmarshal(body, f); err != nil {
+			return nil, fmt.Errorf("%w: bad fault body: %v", ErrCorrupt, err)
+		}
+		rec.Fault = f
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, rec.Type)
+	}
+	return rec, nil
+}
+
+func decodeEventBody(body []byte) (*EventRecord, error) {
+	bad := func(what string) error {
+		return fmt.Errorf("%w: truncated event body at %s", ErrCorrupt, what)
+	}
+	if len(body) < 1+4+8+1 {
+		return nil, bad("header")
+	}
+	ev := &EventRecord{}
+	flags := body[0]
+	ev.Retry = flags&eventFlagRetry != 0
+	ev.BatchSize = int(binary.LittleEndian.Uint32(body[1:]))
+	ev.EventID = int64(binary.LittleEndian.Uint64(body[5:]))
+	kindLen := int(body[13])
+	body = body[14:]
+	if len(body) < kindLen+2 {
+		return nil, bad("kind")
+	}
+	ev.Kind = string(body[:kindLen])
+	flowCount := int(binary.LittleEndian.Uint16(body[kindLen:]))
+	body = body[kindLen+2:]
+	if len(body) != flowCount*24 {
+		return nil, fmt.Errorf("%w: event body has %d bytes for %d flows", ErrCorrupt, len(body), flowCount)
+	}
+	ev.Flows = make([]FlowSpec, flowCount)
+	for i := range ev.Flows {
+		off := i * 24
+		ev.Flows[i] = FlowSpec{
+			Src:       int(binary.LittleEndian.Uint32(body[off:])),
+			Dst:       int(binary.LittleEndian.Uint32(body[off+4:])),
+			DemandBps: int64(binary.LittleEndian.Uint64(body[off+8:])),
+			SizeBytes: int64(binary.LittleEndian.Uint64(body[off+16:])),
+		}
+	}
+	return ev, nil
+}
+
+// ReadFrame reads one frame from r. It returns io.EOF at a clean record
+// boundary and io.ErrUnexpectedEOF when the stream ends inside a frame
+// (a torn tail). A CRC mismatch or malformed record is ErrCorrupt.
+// On success the returned scratch slice is exactly the payload read, so
+// len(scratch) is the frame's payload length; pass it back in to reuse
+// the allocation.
+func ReadFrame(r io.Reader, scratch []byte) (*Record, []byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, scratch, io.EOF
+		}
+		return nil, scratch, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxFramePayload {
+		return nil, scratch, fmt.Errorf("%w: frame length %d exceeds cap %d", ErrCorrupt, n, maxFramePayload)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	payload := scratch[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, scratch, io.ErrUnexpectedEOF
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, scratch, fmt.Errorf("%w: crc mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	rec, err := DecodePayload(payload)
+	if err != nil {
+		return nil, payload, err
+	}
+	return rec, payload, nil
+}

@@ -1,0 +1,439 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testMeta() *Meta {
+	return &Meta{Format: FormatVersion, Scheduler: "p-lmtf", Seed: 42, K: 4, Util: 0.5, Watermark: 1024}
+}
+
+func testRecords(n int) []*Record {
+	recs := make([]*Record, 0, n)
+	for i := 0; i < n; i++ {
+		seq := int64(i + 1)
+		if i%5 == 4 {
+			recs = append(recs, &Record{
+				Type:   TypeFault,
+				ID:     ID{VT: 1000 * seq, Seq: seq},
+				Rounds: seq / 2,
+				Fault:  &FaultRecord{Action: "link-down", Link: int(seq), RepairEventID: 1<<40 + seq},
+			})
+			continue
+		}
+		recs = append(recs, &Record{
+			Type:   TypeEvent,
+			ID:     ID{VT: 1000 * seq, Seq: seq},
+			Rounds: seq / 2,
+			Event: &EventRecord{
+				EventID:   seq,
+				Kind:      "submitted",
+				Retry:     i%3 == 0,
+				BatchSize: 1,
+				Flows: []FlowSpec{
+					{Src: int(seq), Dst: int(seq) + 1, DemandBps: 1e9, SizeBytes: 1 << 20},
+					{Src: 0, Dst: 7, DemandBps: 5e8, SizeBytes: 1 << 19},
+				},
+			},
+		})
+	}
+	return recs
+}
+
+func appendAll(t *testing.T, w *Writer, recs []*Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append(seq=%d): %v", rec.ID.Seq, err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func replayAll(t *testing.T, l *Log, afterSeq int64) ([]*Record, ReplayInfo) {
+	t.Helper()
+	var got []*Record
+	info, err := l.Replay(afterSeq, func(rec *Record) error {
+		cp := *rec
+		got = append(got, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, info
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	recs := testRecords(10)
+	recs = append(recs, &Record{Type: TypeMeta, ID: ID{Seq: 0}, Meta: testMeta()})
+	for _, rec := range recs {
+		buf, err := AppendFrame(nil, rec)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+		got, _, err := ReadFrame(bytes.NewReader(buf), nil)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", rec, got)
+		}
+	}
+}
+
+func TestWriterSeqEnforced(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rec := testRecords(3)[2] // seq 3, but writer expects 1
+	if err := w.Append(rec); !errors.Is(err, ErrSeq) {
+		t.Fatalf("Append(seq=3) err = %v, want ErrSeq", err)
+	}
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(12)
+
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Empty() {
+		t.Fatal("fresh log not Empty")
+	}
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.Empty() {
+		t.Fatal("log with records reports Empty")
+	}
+	if got := l2.LastSeq(); got != 12 {
+		t.Fatalf("LastSeq = %d, want 12", got)
+	}
+	if m := l2.Meta(); m == nil || *m != *testMeta() {
+		t.Fatalf("Meta = %+v, want %+v", m, testMeta())
+	}
+	got, info := replayAll(t, l2, 0)
+	if info.Records != len(recs) || info.Truncated {
+		t.Fatalf("ReplayInfo = %+v", info)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed records differ")
+	}
+
+	// Replay past a cutoff skips the prefix.
+	got, _ = replayAll(t, l2, 7)
+	if len(got) != 5 || got[0].ID.Seq != 8 {
+		t.Fatalf("Replay(after=7) got %d records, first seq %d", len(got), got[0].ID.Seq)
+	}
+}
+
+func TestReopenContinuesSeq(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(8)
+
+	l, _ := Open(dir)
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[:5])
+	w.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := l2.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.LastSeq() != 5 {
+		t.Fatalf("reopened writer LastSeq = %d, want 5", w2.LastSeq())
+	}
+	appendAll(t, w2, recs[5:])
+	w2.Close()
+
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, l3, 0)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("records after reopen differ")
+	}
+}
+
+// TestTornTail truncates the log at every byte length between the
+// second-to-last and last frame boundary: replay must cleanly ignore
+// the torn tail and surface exactly the prefix.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(6)
+	l, _ := Open(dir)
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs)
+	w.Close()
+
+	lscan, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := lscan.Segments()[0]
+	data, err := os.ReadFile(seg.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := seg.FrameEnds
+	prevEnd := ends[len(ends)-2] // boundary before the final record
+	for cut := prevEnd + 1; cut < int64(len(data)); cut++ {
+		path := filepath.Join(t.TempDir(), segmentName(0))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lt, err := Open(filepath.Dir(path))
+		if err != nil {
+			t.Fatalf("Open(cut=%d): %v", cut, err)
+		}
+		if lt.LastSeq() != 5 {
+			t.Fatalf("cut=%d: LastSeq = %d, want 5", cut, lt.LastSeq())
+		}
+		got, info := replayAll(t, lt, 0)
+		if !info.Truncated {
+			t.Fatalf("cut=%d: truncation not reported", cut)
+		}
+		if !reflect.DeepEqual(got, recs[:5]) {
+			t.Fatalf("cut=%d: replayed prefix differs", cut)
+		}
+	}
+
+	// A cut at an exact frame boundary is not a torn tail at all.
+	path := filepath.Join(t.TempDir(), segmentName(0))
+	if err := os.WriteFile(path, data[:prevEnd], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := Open(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, lt, 0)
+	if info.Truncated || len(got) != 5 {
+		t.Fatalf("boundary cut: info=%+v records=%d", info, len(got))
+	}
+}
+
+// TestTornTailTruncatedOnAppend reopens a torn log for writing: the
+// torn bytes must be discarded so new appends extend the last valid
+// frame, and a subsequent scan sees a contiguous log.
+func TestTornTailTruncatedOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(6)
+	l, _ := Open(dir)
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[:5])
+	w.Close()
+
+	segPath := l.Segments()[0].Path
+	data, _ := os.ReadFile(segPath)
+	if err := os.WriteFile(segPath, append(data, 0xde, 0xad, 0xbe), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := l2.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w2, recs[5:])
+	w2.Close()
+
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, l3, 0)
+	if info.Truncated {
+		t.Fatal("tail still torn after reopen-for-append")
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("records differ after torn-tail repair")
+	}
+}
+
+// TestBitFlipIsCorrupt flips one bit in each frame region of a valid
+// segment: scan must fail with ErrCorrupt (never silently skip).
+func TestBitFlipIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testRecords(4))
+	w.Close()
+	data, err := os.ReadFile(l.Segments()[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a bit in the payload, the CRC field and mid-stream (not the
+	// final frame, so truncation tolerance cannot mask it).
+	for _, off := range []int{9, 4, len(data) / 2} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		path := filepath.Join(t.TempDir(), segmentName(0))
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(filepath.Dir(path))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: Open err = %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+func TestCheckpointRotateAndPurge(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(10)
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[:6])
+
+	state := []byte(`{"folded":6}`)
+	w2, err := l.Rotate(w, state, ID{VT: 6000, Seq: 6}, 3)
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	appendAll(t, w2, recs[6:])
+	w2.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after rotate: %v", err)
+	}
+	ck := l2.Checkpoint()
+	if ck == nil || ck.ID.Seq != 6 || ck.Rounds != 3 || string(ck.State) != string(state) {
+		t.Fatalf("Checkpoint = %+v", ck)
+	}
+	if n := len(l2.Segments()); n != 1 {
+		t.Fatalf("segments after purge = %d, want 1", n)
+	}
+	got, _ := replayAll(t, l2, ck.ID.Seq)
+	if !reflect.DeepEqual(got, recs[6:]) {
+		t.Fatal("suffix replay after checkpoint differs")
+	}
+	if m := l2.Meta(); m == nil || *m != *testMeta() {
+		t.Fatalf("meta lost across rotation: %+v", m)
+	}
+}
+
+func TestKeepSegmentsArchivesHistory(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(10)
+	l, err := Open(dir, WithKeepSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[:6])
+	w2, err := l.Rotate(w, []byte(`{}`), ID{VT: 6000, Seq: 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w2, recs[6:])
+	w2.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(l2.Segments()); n != 2 {
+		t.Fatalf("segments kept = %d, want 2", n)
+	}
+	// Genesis fold still possible: replay everything from seq 0.
+	got, _ := replayAll(t, l2, 0)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("genesis replay with kept segments differs")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint-0000000000000006.json")); err != nil {
+		t.Fatalf("checkpoint archive missing: %v", err)
+	}
+}
+
+func TestMetaMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testRecords(3))
+	w.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testMeta()
+	other.Seed = 99
+	if _, err := l2.OpenWriter(other, ID{}, 0); !errors.Is(err, ErrMetaMismatch) {
+		t.Fatalf("OpenWriter with different world err = %v, want ErrMetaMismatch", err)
+	}
+}
+
+func TestReadFrameTornHeader(t *testing.T) {
+	buf, err := AppendFrame(nil, testRecords(1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(buf[:cut]), nil)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut=%d: err = %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Writer appends records to one segment file. It is not safe for
+// concurrent use; the ctl server confines it to the state loop, which
+// is the only goroutine that admits inputs.
+//
+// Append buffers; Commit makes everything appended so far durable
+// according to the sync policy. The server calls Commit before replying
+// to the requests whose records it covers — append-before-ack — so an
+// acknowledged verdict is always recoverable.
+type Writer struct {
+	f      *os.File
+	bw     *bufio.Writer
+	policy SyncPolicy
+	buf    []byte
+
+	lastSeq int64
+	dirty   bool
+
+	appends int64
+	bytes   int64
+	commits int64
+	syncs   int64
+}
+
+func newWriter(f *os.File, policy SyncPolicy, lastSeq int64) *Writer {
+	return &Writer{
+		f:       f,
+		bw:      bufio.NewWriterSize(f, 1<<16),
+		policy:  policy,
+		lastSeq: lastSeq,
+	}
+}
+
+// LastSeq returns the sequence number of the last appended record (or
+// the segment base if nothing has been appended yet).
+func (w *Writer) LastSeq() int64 { return w.lastSeq }
+
+// Stats returns lifetime counters for this writer: records appended,
+// payload+frame bytes written, commits, and fsyncs issued.
+func (w *Writer) Stats() (appends, bytes, commits, syncs int64) {
+	return w.appends, w.bytes, w.commits, w.syncs
+}
+
+// Append encodes rec and buffers it. rec.ID.Seq must be exactly
+// lastSeq+1 (meta records, which carry the segment base, are exempt).
+// Under SyncAlways the record is flushed and fsynced immediately.
+func (w *Writer) Append(rec *Record) error {
+	if rec.Type != TypeMeta && rec.ID.Seq != w.lastSeq+1 {
+		return fmt.Errorf("%w: append seq %d after %d", ErrSeq, rec.ID.Seq, w.lastSeq)
+	}
+	buf, err := AppendFrame(w.buf[:0], rec)
+	w.buf = buf[:0]
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		return err
+	}
+	if rec.Type != TypeMeta {
+		w.lastSeq = rec.ID.Seq
+	}
+	w.appends++
+	w.bytes += int64(len(buf))
+	w.dirty = true
+	if w.policy == SyncAlways {
+		return w.Commit()
+	}
+	return nil
+}
+
+// Commit flushes buffered records to the file and, unless the policy is
+// SyncOff, fsyncs. It is a no-op when nothing was appended since the
+// last commit.
+func (w *Writer) Commit() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.policy != SyncOff {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.syncs++
+	}
+	w.dirty = false
+	w.commits++
+	return nil
+}
+
+// Close commits outstanding records and closes the segment file.
+func (w *Writer) Close() error {
+	err := w.Commit()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -39,6 +39,51 @@ if [ "$CODEC_RATE" != 0 ]; then
     -batch 128 -conns 4 -watermark 1000000 -json 2>/dev/null) || codec_v2=null
 fi
 
+# WAL durability soak: the ingest soak repeated with a group-commit
+# write-ahead log, then a restart on the same directory so the recovery
+# path (checkpoint restore + log-suffix replay) is timed for real. The
+# summary reports append overhead vs the no-WAL soak above — the
+# recovery design budgets <10% — and recovery_ms (WAL_RATE=0 skips it).
+WAL_RATE="${WAL_RATE:-$SOAK_RATE}"
+WAL_DURATION="${WAL_DURATION:-$SOAK_DURATION}"
+wal_soak=null
+wal_restart=null
+if [ "$WAL_RATE" != 0 ] && [ "$SOAK_RATE" != 0 ]; then
+  wal_dir=$(mktemp -d)
+  wal_soak=$(go run ./cmd/loadgen -selfhost -rate "$WAL_RATE" -duration "$WAL_DURATION" \
+    -batch 16 -conns 4 -retries 3 -wal-dir "$wal_dir" -wal-sync group -json 2>/dev/null) || wal_soak=null
+  wal_restart=$(go run ./cmd/loadgen -selfhost -rate 50 -duration 1s \
+    -batch 8 -conns 2 -wal-dir "$wal_dir" -wal-sync group -json 2>/dev/null) || wal_restart=null
+  rm -rf "$wal_dir"
+fi
+wal_summary=null
+if [ "$wal_soak" != null ]; then
+  wal_summary=$(BASE_JSON="$soak" WAL_JSON="$wal_soak" RESTART_JSON="$wal_restart" python3 - <<'PY'
+import json, os
+
+def load(name):
+    try:
+        return json.loads(os.environ[name])
+    except Exception:
+        return None
+
+base, walrun, restart = load("BASE_JSON"), load("WAL_JSON"), load("RESTART_JSON")
+out = {}
+if base and walrun:
+    b = base.get("accepted_per_sec", 0)
+    w = walrun.get("accepted_per_sec", 0)
+    out["baseline_accepted_per_sec"] = round(b, 1)
+    out["wal_accepted_per_sec"] = round(w, 1)
+    if b > 0:
+        out["append_overhead_pct"] = round((b - w) * 100 / b, 2)
+srv = (restart or {}).get("server") or {}
+out["recovery_ms"] = srv.get("wal_recovery_ms", 0)
+out["replayed_records"] = srv.get("wal_replayed", 0)
+print(json.dumps(out))
+PY
+  ) || wal_summary=null
+fi
+
 {
   printf '{\n'
   printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -77,6 +122,13 @@ fi
   printf '%s\n' "$codec_v1" | sed 's/^/  /'
   printf '  ,"v2":\n'
   printf '%s\n' "$codec_v2" | sed 's/^/  /'
+  printf '  }\n'
+  printf '  ,"wal_recovery": {\n'
+  printf '  "summary": %s\n' "$wal_summary"
+  printf '  ,"soak":\n'
+  printf '%s\n' "$wal_soak" | sed 's/^/  /'
+  printf '  ,"restart":\n'
+  printf '%s\n' "$wal_restart" | sed 's/^/  /'
   printf '  }\n'
   printf '}\n'
 } >"$OUT"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Fails when a tier-1 micro-benchmark regresses beyond BENCH_TOLERANCE
-# (default 1.2, i.e. >20% slower) against the newest BENCH_<date>.json
-# baseline in the repo root.
+# (default 1.2, i.e. >20% slower) against a pinned BENCH_<date>.json
+# baseline.
 #
 # Raw ns/op is meaningless across machines, so every number is first
 # normalized by the run's BenchmarkAdmitFlow result — a small, stable
@@ -10,14 +10,32 @@
 # vs at baseline time. Each benchmark runs BENCH_COUNT times (default
 # 3) and the minimum ns/op is used, which strips scheduler noise.
 #
-#   scripts/bench_guard.sh                 # guard against newest baseline
-#   BENCH_TOLERANCE=1.5 scripts/bench_guard.sh
+# The baseline is pinned explicitly — as the first argument or the
+# BASELINE env var — so the guard always measures against a known
+# anchor. (The old behavior of silently picking the newest
+# BENCH_<date>.json let a fresh bench.sh run become its own baseline,
+# turning the guard into a no-op exactly when a regression landed.)
+# With no pin it still falls back to the newest file, minus any written
+# today, and says so.
+#
+#   scripts/bench_guard.sh BENCH_20260801.json   # pinned (preferred)
+#   BASELINE=BENCH_20260801.json scripts/bench_guard.sh
+#   BENCH_TOLERANCE=1.5 scripts/bench_guard.sh BENCH_20260801.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE="${BASELINE:-$(ls BENCH_*.json 2>/dev/null | sort | tail -1)}"
+BASELINE="${1:-${BASELINE:-}}"
+if [ -z "$BASELINE" ]; then
+  # Unpinned fallback: newest baseline not written today, so a run that
+  # just produced today's file never guards against itself.
+  today="BENCH_$(date +%Y%m%d).json"
+  BASELINE=$(ls BENCH_*.json 2>/dev/null | grep -v -F "$today" | sort | tail -1 || true)
+  if [ -n "$BASELINE" ]; then
+    echo "bench_guard: no baseline pinned; falling back to newest prior baseline $BASELINE" >&2
+  fi
+fi
 if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
-  echo "bench_guard: no BENCH_<date>.json baseline found; run scripts/bench.sh first" >&2
+  echo "bench_guard: no usable BENCH_<date>.json baseline; pin one as \$1 or run scripts/bench.sh first" >&2
   exit 0
 fi
 
