@@ -54,6 +54,7 @@ import (
 	"netupdate/internal/ctl"
 	"netupdate/internal/migration"
 	"netupdate/internal/netstate"
+	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
@@ -94,10 +95,37 @@ type summary struct {
 	// milliseconds; 0 when no batch completed.
 	SubmitP50Ms float64 `json:"submit_p50_ms"`
 	SubmitP99Ms float64 `json:"submit_p99_ms"`
+	// Latency is the server-side stage-level latency breakdown (span
+	// pipeline percentiles), present when the post-run stats call
+	// succeeded.
+	Latency *latencySummary `json:"latency,omitempty"`
 	// Server echoes the controller's stats after the run (ingest
 	// counters, queue depth, scheduler) when the stats call succeeded.
 	Server *ctl.Stats `json:"server,omitempty"`
 }
+
+// latencySummary is the end-to-end latency block of the report: the
+// submit→completion percentiles plus the overload breakdown (time in
+// queue vs time in scheduling rounds), all in wall-clock milliseconds.
+type latencySummary struct {
+	E2EP50Ms  float64 `json:"e2e_p50_ms"`
+	E2EP95Ms  float64 `json:"e2e_p95_ms"`
+	E2EP99Ms  float64 `json:"e2e_p99_ms"`
+	E2EP999Ms float64 `json:"e2e_p999_ms"`
+	// Overload breakdown at the tail: where the p99 event spent its time.
+	QueueP50Ms  float64 `json:"queue_p50_ms"`
+	QueueP99Ms  float64 `json:"queue_p99_ms"`
+	RoundsP50Ms float64 `json:"rounds_p50_ms"`
+	RoundsP99Ms float64 `json:"rounds_p99_ms"`
+	// SpansDropped counts stage records the server shed when the span
+	// sink's ring overflowed; SpanFile is the JSONL span file written
+	// (selfhost -spans only).
+	SpansDropped int64  `json:"spans_dropped"`
+	SpanFile     string `json:"span_file,omitempty"`
+}
+
+// ms converts nanoseconds to float milliseconds.
+func ms(ns int64) float64 { return float64(ns) / float64(time.Millisecond) }
 
 func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
@@ -116,6 +144,8 @@ func run(args []string, stdout io.Writer) int {
 		maxFlows = fs.Int("max-flows", 4, "flows per event, upper bound")
 		demand   = fs.Int64("demand-mbps", 5, "per-flow demand in Mbps")
 		jsonOut  = fs.Bool("json", false, "print the summary as JSON")
+		spanFile = fs.String("spans", "", "selfhost: write stage-level latency spans (JSONL) to this file and attach span contexts to submissions")
+		origin   = fs.Uint("origin", 1, "span origin identity carried in submitted trace contexts (16-bit)")
 
 		// Selfhost controller shape (mirrors cmd/updated).
 		schedName = fs.String("scheduler", "p-lmtf", "selfhost: scheduling policy (see sched.Names)")
@@ -142,10 +172,36 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 	pipelined := *codec == "v2" && *retries <= 1 && *pipeline > 0
+	if *spanFile != "" && !*selfhost {
+		fmt.Fprintln(os.Stderr, "loadgen: -spans requires -selfhost (the span file is written by the in-process controller)")
+		return 2
+	}
+	if *origin > math.MaxUint16 {
+		fmt.Fprintf(os.Stderr, "loadgen: -origin %d exceeds 16 bits\n", *origin)
+		return 2
+	}
+	spanOrigin := uint16(*origin)
+	spansOn := *spanFile != ""
 
 	target := *addr
 	if *selfhost {
-		srv, laddr, err := startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed, *walDir, *walSync)
+		var spanSink obs.Sink
+		if spansOn {
+			f, err := os.Create(*spanFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: span file: %v\n", err)
+				return 1
+			}
+			// LIFO defers: the server closes (draining its async span sink)
+			// before the file does.
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "loadgen: span file close: %v\n", err)
+				}
+			}()
+			spanSink = obs.NewJSONLSink(f)
+		}
+		srv, laddr, err := startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed, *walDir, *walSync, spanSink)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
 			return 1
@@ -163,6 +219,15 @@ func run(args []string, stdout io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		return 1
+	}
+
+	// Span contexts ride a flag-gated binary extension that pre-span
+	// servers reject, so negotiate before any worker enables them.
+	if spansOn {
+		if err := probeSpanFeature(target); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
 	}
 
 	var accepted, rejected, invalid, dropped atomic.Int64
@@ -183,7 +248,7 @@ func run(args []string, stdout io.Writer) int {
 				}
 			}
 			if pipelined {
-				if err := pipelineWorker(target, *pipeline, work, lat, &accepted, &rejected, &invalid); err != nil {
+				if err := pipelineWorker(target, *pipeline, spansOn, spanOrigin, work, lat, &accepted, &rejected, &invalid); err != nil {
 					workerErr <- err
 					drainDropped()
 				}
@@ -194,6 +259,9 @@ func run(args []string, stdout io.Writer) int {
 				workerErr <- err
 				drainDropped()
 				return
+			}
+			if spansOn {
+				c.EnableSpans(spanOrigin)
 			}
 			defer c.Close()
 			for batch := range work {
@@ -272,6 +340,18 @@ func run(args []string, stdout io.Writer) int {
 	if c, err := ctl.Dial(target); err == nil {
 		if stats, err := c.Stats(); err == nil {
 			sum.Server = &stats
+			sum.Latency = &latencySummary{
+				E2EP50Ms:     ms(stats.LatencyE2EP50Ns),
+				E2EP95Ms:     ms(stats.LatencyE2EP95Ns),
+				E2EP99Ms:     ms(stats.LatencyE2EP99Ns),
+				E2EP999Ms:    ms(stats.LatencyE2EP999Ns),
+				QueueP50Ms:   ms(stats.LatencyQueueP50Ns),
+				QueueP99Ms:   ms(stats.LatencyQueueP99Ns),
+				RoundsP50Ms:  ms(stats.LatencyRoundsP50Ns),
+				RoundsP99Ms:  ms(stats.LatencyRoundsP99Ns),
+				SpansDropped: stats.SpansDropped,
+				SpanFile:     *spanFile,
+			}
 		}
 		_ = c.Close()
 	}
@@ -296,6 +376,11 @@ func run(args []string, stdout io.Writer) int {
 			fmt.Fprintf(stdout, "server: %s scheduler, %d done, %d queued, ingest %d/%d/%d accepted/rejected/retried (watermark %d)\n",
 				s.Scheduler, s.EventsDone, s.EventsQueued,
 				s.IngestAccepted, s.IngestRejected, s.IngestRetried, s.IngestWatermark)
+		}
+		if lb := sum.Latency; lb != nil {
+			fmt.Fprintf(stdout, "e2e latency p50 %.2fms p95 %.2fms p99 %.2fms p99.9 %.2fms (queue p99 %.2fms, rounds p99 %.2fms, %d spans dropped)\n",
+				lb.E2EP50Ms, lb.E2EP95Ms, lb.E2EP99Ms, lb.E2EP999Ms,
+				lb.QueueP99Ms, lb.RoundsP99Ms, lb.SpansDropped)
 		}
 	}
 	if sum.Accepted == 0 {
@@ -393,10 +478,14 @@ func discoverHosts(addr string) ([]int, error) {
 // set, the controller journals admissions there and recovers from any
 // existing history first — which is how scripts/bench.sh measures both
 // append overhead and restart-recovery time.
-func startSelfhost(schedName string, alpha, k int, util float64, watermark int, seed int64, walDir, walSync string) (*ctl.Server, string, error) {
+func startSelfhost(schedName string, alpha, k int, util float64, watermark int, seed int64, walDir, walSync string, spanSink obs.Sink) (*ctl.Server, string, error) {
 	scheduler, err := sched.New(schedName, sched.WithAlpha(alpha), sched.WithSeed(seed))
 	if err != nil {
 		return nil, "", err
+	}
+	opts := []ctl.ServerOption{ctl.WithHighWatermark(watermark)}
+	if spanSink != nil {
+		opts = append(opts, ctl.WithSpanSink(spanSink))
 	}
 	var walLog *wal.Log
 	if walDir != "" {
@@ -436,7 +525,7 @@ func startSelfhost(schedName string, alpha, k int, util float64, watermark int, 
 		}
 		var rec *ctl.RecoveryInfo
 		srv, rec, err = ctl.NewServerWithWAL(planner, scheduler, sim.Config{},
-			ctl.WALConfig{Log: walLog, Meta: meta}, ctl.WithHighWatermark(watermark))
+			ctl.WALConfig{Log: walLog, Meta: meta}, opts...)
 		if err != nil {
 			return nil, "", err
 		}
@@ -445,7 +534,7 @@ func startSelfhost(schedName string, alpha, k int, util float64, watermark int, 
 				rec.ReplayedRecords, rec.Elapsed.Round(time.Millisecond))
 		}
 	} else {
-		srv = ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(watermark))
+		srv = ctl.NewServer(planner, scheduler, sim.Config{}, opts...)
 	}
 	l, err := netpkg.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -501,12 +590,32 @@ func dialCodec(target, codec string) (*ctl.Client, error) {
 	return ctl.Dial(target)
 }
 
+// probeSpanFeature checks the controller advertises span-context
+// support before any connection enables the binary span extension.
+func probeSpanFeature(target string) error {
+	c, err := ctl.Dial(target)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	feats, err := c.Features()
+	if err != nil {
+		return fmt.Errorf("feature probe: %w", err)
+	}
+	for _, f := range feats {
+		if f == ctl.FeatureSpanContext {
+			return nil
+		}
+	}
+	return fmt.Errorf("server does not support %s (features: %v); run without -spans", ctl.FeatureSpanContext, feats)
+}
+
 // pipelineWorker drives one pipelined binary connection: batches are
 // written without waiting for responses, outcomes and latencies are
 // folded in from the reader callback. Because responses arrive in
 // submission order, a FIFO of batch sizes attributes each result to its
 // event count.
-func pipelineWorker(target string, window int, work <-chan []ctl.EventSpec, lat *latencyRecorder, accepted, rejected, invalid *atomic.Int64) error {
+func pipelineWorker(target string, window int, spansOn bool, spanOrigin uint16, work <-chan []ctl.EventSpec, lat *latencyRecorder, accepted, rejected, invalid *atomic.Int64) error {
 	var mu sync.Mutex
 	var sizes []int
 	p, err := ctl.DialPipeline(target, window, func(r ctl.BatchResult) {
@@ -532,6 +641,9 @@ func pipelineWorker(target string, window int, work <-chan []ctl.EventSpec, lat 
 	})
 	if err != nil {
 		return err
+	}
+	if spansOn {
+		p.EnableSpans(spanOrigin)
 	}
 	defer func() { _ = p.Close() }()
 	for batch := range work {

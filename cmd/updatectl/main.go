@@ -69,8 +69,13 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 	if rest[0] == "wal" {
-		// Offline log inspection: no server, no dial.
+		// Offline log inspection: no server, no dial (except `wal info
+		// -addr`, which dials inside walCmd for live fsync stats).
 		return walCmd(rest[1:], stdout)
+	}
+	if rest[0] == "trace" && len(rest) >= 2 && rest[1] == "report" {
+		// Offline span-file analysis: no server, no dial.
+		return traceReport(rest[2:], stdout)
 	}
 
 	var client *ctl.Client
@@ -139,6 +144,20 @@ func run(args []string, stdout io.Writer) int {
 				stats.WALLastSeq, stats.WALAppends, stats.WALCheckpoints, stats.WALCheckpointSeq)
 			fmt.Fprintf(stdout, "recovery       %d records replayed in %d ms\n",
 				stats.WALReplayed, stats.WALRecoveryMs)
+		}
+		if stats.LatencyE2EP99Ns > 0 {
+			fmt.Fprintf(stdout, "latency e2e    p50 %v, p95 %v, p99 %v, p99.9 %v\n",
+				time.Duration(stats.LatencyE2EP50Ns), time.Duration(stats.LatencyE2EP95Ns),
+				time.Duration(stats.LatencyE2EP99Ns), time.Duration(stats.LatencyE2EP999Ns))
+			fmt.Fprintf(stdout, "latency split  queue p50 %v / p99 %v, rounds p50 %v / p99 %v, %d spans dropped\n",
+				time.Duration(stats.LatencyQueueP50Ns), time.Duration(stats.LatencyQueueP99Ns),
+				time.Duration(stats.LatencyRoundsP50Ns), time.Duration(stats.LatencyRoundsP99Ns),
+				stats.SpansDropped)
+		}
+		if stats.WALSyncPolicy != "" {
+			fmt.Fprintf(stdout, "wal fsync      policy %s, %d syncs, p50 %v, p99 %v\n",
+				stats.WALSyncPolicy, stats.WALFsyncCount,
+				time.Duration(stats.WALFsyncP50Ns), time.Duration(stats.WALFsyncP99Ns))
 		}
 		return 0
 
@@ -342,12 +361,21 @@ func submitAll(client *ctl.Client, in io.Reader, stdout io.Writer, timeout time.
 }
 
 // walCmd inspects a WAL directory offline: info, verify or dump.
+// `wal info -addr host:port` instead asks a live server for its fsync
+// latency profile and sync policy.
 func walCmd(args []string, stdout io.Writer) int {
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "updatectl: wal needs a subcommand and a directory: wal info|verify|dump <dir>")
+		fmt.Fprintln(os.Stderr, "updatectl: wal needs a subcommand and a directory: wal info|verify|dump <dir> (or wal info -addr host:port)")
 		return 2
 	}
 	sub, dir := args[0], args[1]
+	if sub == "info" && dir == "-addr" {
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "updatectl: wal info -addr needs a controller address")
+			return 2
+		}
+		return walInfoLive(args[2], stdout)
+	}
 	log, err := wal.Open(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "updatectl: wal: %v\n", err)
@@ -418,6 +446,36 @@ func walCmd(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "updatectl: unknown wal subcommand %q (want info, verify or dump)\n", sub)
 		return 2
 	}
+}
+
+// walInfoLive prints a running server's durability profile: sync policy,
+// append/checkpoint counters and the fsync latency histogram from Stats.
+func walInfoLive(addr string, stdout io.Writer) int {
+	client, err := ctl.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+		return 1
+	}
+	defer client.Close()
+	stats, err := client.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+		return 1
+	}
+	if !stats.WALEnabled {
+		fmt.Fprintln(stdout, "wal disabled on this server")
+		return 0
+	}
+	fmt.Fprintf(stdout, "wal         seq %d, %d appends, %d checkpoints (covered seq %d)\n",
+		stats.WALLastSeq, stats.WALAppends, stats.WALCheckpoints, stats.WALCheckpointSeq)
+	fmt.Fprintf(stdout, "sync policy %s\n", stats.WALSyncPolicy)
+	if stats.WALFsyncCount > 0 {
+		fmt.Fprintf(stdout, "fsync       %d syncs, p50 %v, p99 %v\n",
+			stats.WALFsyncCount, time.Duration(stats.WALFsyncP50Ns), time.Duration(stats.WALFsyncP99Ns))
+	} else {
+		fmt.Fprintln(stdout, "fsync       no syncs observed yet")
+	}
+	return 0
 }
 
 func printStatus(w io.Writer, st ctl.EventStatus) {

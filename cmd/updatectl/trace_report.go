@@ -1,0 +1,289 @@
+package main
+
+// Offline span-file analysis: `updatectl trace report <spans.jsonl>`
+// renders per-stage latency tables, the top-N slowest events with their
+// stage waterfalls, and a fairness view over end-to-end latency —
+// without a server, from the JSONL span channel a controller wrote via
+// -span-out (cmd/updated) or -spans (cmd/loadgen).
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"netupdate/internal/obs"
+)
+
+// traceReport implements `trace report <file> [-top n]`.
+func traceReport(args []string, stdout io.Writer) int {
+	var file string
+	var flagArgs []string
+	for i, a := range args {
+		if strings.HasPrefix(a, "-") {
+			flagArgs = args[i:]
+			break
+		}
+		if file != "" {
+			fmt.Fprintf(os.Stderr, "updatectl: trace report takes one span file, got %q and %q\n", file, a)
+			return 2
+		}
+		file = a
+	}
+	fs := flag.NewFlagSet("trace report", flag.ContinueOnError)
+	top := fs.Int("top", 10, "how many slowest events to list with waterfalls")
+	if err := fs.Parse(flagArgs); err != nil {
+		return 2
+	}
+	if file == "" {
+		fmt.Fprintln(os.Stderr, "updatectl: trace report needs a span file (JSONL, written with -spans/-span-out)")
+		return 2
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	spans, total, err := readSpans(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "updatectl: %s: %v\n", file, err)
+		return 1
+	}
+	if total == 0 {
+		fmt.Fprintf(os.Stderr, "updatectl: %s holds no stage records (was the run started with spans enabled?)\n", file)
+		return 1
+	}
+	renderReport(stdout, spans, total, *top)
+	return 0
+}
+
+// eventSpan groups one event's stage records in file (emission) order.
+type eventSpan struct {
+	event  int64
+	stages []*obs.StageRecord
+}
+
+// complete returns the completion record, or nil for an open span.
+func (s *eventSpan) complete() *obs.StageRecord {
+	if n := len(s.stages); n > 0 && s.stages[n-1].Stage == obs.StageComplete {
+		return s.stages[n-1]
+	}
+	return nil
+}
+
+// readSpans parses the stage records of a span JSONL stream, grouped by
+// event, preserving first-seen event order. Non-stage records (a mixed
+// sink) are skipped. Returns the groups and the total stage count.
+func readSpans(r io.Reader) ([]*eventSpan, int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	byEvent := map[int64]*eventSpan{}
+	var order []*eventSpan
+	total := 0
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, 0, fmt.Errorf("bad span line: %w", err)
+		}
+		if rec.Kind != obs.KindStage || rec.Stage == nil {
+			continue
+		}
+		total++
+		st := rec.Stage
+		sp := byEvent[st.Event]
+		if sp == nil {
+			sp = &eventSpan{event: st.Event}
+			byEvent[st.Event] = sp
+			order = append(order, sp)
+		}
+		sp.stages = append(sp.stages, st)
+	}
+	return order, total, scanner.Err()
+}
+
+// pctl is the nearest-rank percentile of a sorted sample (0 if empty).
+func pctl(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// renderReport prints the per-stage latency tables, the top-N slowest
+// waterfalls and the fairness view.
+func renderReport(w io.Writer, spans []*eventSpan, total, top int) {
+	completed := 0
+	for _, sp := range spans {
+		if sp.complete() != nil {
+			completed++
+		}
+	}
+	fmt.Fprintf(w, "spans: %d stage records, %d events, %d completed\n\n", total, len(spans), completed)
+
+	// Per-stage transition latency: each stage record's SinceNs is the
+	// wall time since the span's previous stage.
+	stageRows := []struct{ name, label string }{
+		{obs.StageIngest, "submit → ingest"},
+		{obs.StageAdmit, "ingest → admit"},
+		{obs.StageWALCommit, "admit → wal_commit"},
+		{obs.StageExec, "queue wait → exec"},
+		{obs.StageComplete, "exec → complete"},
+	}
+	fmt.Fprintf(w, "stage latency (wall clock)\n")
+	fmt.Fprintf(w, "  %-20s %7s %12s %12s %12s %12s\n", "transition", "count", "p50", "p95", "p99", "max")
+	for _, row := range stageRows {
+		var samples []int64
+		for _, sp := range spans {
+			for _, st := range sp.stages {
+				if st.Stage == row.name && st.SinceNs > 0 {
+					samples = append(samples, st.SinceNs)
+				}
+			}
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		fmt.Fprintf(w, "  %-20s %7d %12s %12s %12s %12s\n", row.label, len(samples),
+			fmtNs(pctl(samples, 50)), fmtNs(pctl(samples, 95)), fmtNs(pctl(samples, 99)),
+			fmtNs(samples[len(samples)-1]))
+	}
+
+	// Overload breakdown and end-to-end, from completion summaries.
+	var e2e, queue, rounds []int64
+	var done []*eventSpan
+	for _, sp := range spans {
+		c := sp.complete()
+		if c == nil {
+			continue
+		}
+		done = append(done, sp)
+		if c.E2ENs > 0 {
+			e2e = append(e2e, c.E2ENs)
+		}
+		if c.QueueNs > 0 {
+			queue = append(queue, c.QueueNs)
+		}
+		if c.RoundsNs > 0 {
+			rounds = append(rounds, c.RoundsNs)
+		}
+	}
+	fmt.Fprintf(w, "\nend-to-end (submit/ingest → complete)\n")
+	fmt.Fprintf(w, "  %-20s %7s %12s %12s %12s %12s\n", "series", "count", "p50", "p95", "p99", "max")
+	for _, s := range []struct {
+		label   string
+		samples []int64
+	}{{"e2e", e2e}, {"time in queue", queue}, {"time in rounds", rounds}} {
+		if len(s.samples) == 0 {
+			continue
+		}
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		fmt.Fprintf(w, "  %-20s %7d %12s %12s %12s %12s\n", s.label, len(s.samples),
+			fmtNs(pctl(s.samples, 50)), fmtNs(pctl(s.samples, 95)), fmtNs(pctl(s.samples, 99)),
+			fmtNs(s.samples[len(s.samples)-1]))
+	}
+
+	// Top-N slowest waterfalls.
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].complete().E2ENs > done[j].complete().E2ENs
+	})
+	if top > len(done) {
+		top = len(done)
+	}
+	if top > 0 {
+		fmt.Fprintf(w, "\nslowest %d events\n", top)
+	}
+	for _, sp := range done[:top] {
+		c := sp.complete()
+		fmt.Fprintf(w, "  event %d (origin %d, trace %d): e2e %s, %d probes, %d flows",
+			sp.event, c.Origin, c.TraceID, fmtNs(c.E2ENs), c.Probes, c.Flows)
+		if c.Failed > 0 {
+			fmt.Fprintf(w, ", %d failed", c.Failed)
+		}
+		if c.Retries > 0 {
+			fmt.Fprintf(w, ", %d retries", c.Retries)
+		}
+		if c.RolledBack {
+			fmt.Fprintf(w, ", rolled back")
+		}
+		fmt.Fprintln(w)
+		start := int64(0)
+		for _, st := range sp.stages {
+			if st.WallNs > 0 {
+				start = st.WallNs
+				break
+			}
+		}
+		probes := 0
+		for _, st := range sp.stages {
+			if st.Stage == obs.StageProbed {
+				probes++
+				continue
+			}
+			var off string
+			if st.WallNs > 0 && start > 0 {
+				off = fmt.Sprintf("+%s", fmtNs(st.WallNs-start))
+			}
+			line := fmt.Sprintf("    %-12s %10s", st.Stage, off)
+			if st.SinceNs > 0 {
+				line += fmt.Sprintf("  (%s since previous)", fmtNs(st.SinceNs))
+			}
+			if st.Round > 0 {
+				line += fmt.Sprintf("  round %d", st.Round)
+			}
+			fmt.Fprintln(w, line)
+		}
+		if probes > 0 {
+			fmt.Fprintf(w, "    (probed in %d rounds)\n", probes)
+		}
+	}
+
+	// Fairness over end-to-end latency: how evenly completions shared
+	// the pipeline. Jain's index is 1.0 when every event saw the same
+	// latency, 1/n when one event ate everything.
+	if len(e2e) > 0 {
+		var sum, sumSq float64
+		for _, v := range e2e {
+			f := float64(v)
+			sum += f
+			sumSq += f * f
+		}
+		n := float64(len(e2e))
+		jain := 0.0
+		if sumSq > 0 {
+			jain = sum * sum / (n * sumSq)
+		}
+		minV, maxV := e2e[0], e2e[len(e2e)-1]
+		spread := 0.0
+		if minV > 0 {
+			spread = float64(maxV) / float64(minV)
+		}
+		fmt.Fprintf(w, "\nfairness (e2e latency across %d completed events)\n", len(e2e))
+		fmt.Fprintf(w, "  min %s, mean %s, p50 %s, p95 %s, max %s\n",
+			fmtNs(minV), fmtNs(int64(sum/n)), fmtNs(pctl(e2e, 50)), fmtNs(pctl(e2e, 95)), fmtNs(maxV))
+		fmt.Fprintf(w, "  jain index %.4f, max/min spread %.2fx\n", jain, spread)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netupdate/internal/obs"
+)
+
+// writeSpanFile writes a synthetic two-event span file: event 1 completes
+// with a full waterfall, event 2 stays open at exec.
+func writeSpanFile(t *testing.T) string {
+	t.Helper()
+	stage := func(event int64, stage string, wall, since int64, extra func(*obs.StageRecord)) obs.Record {
+		st := &obs.StageRecord{
+			TraceID: obs.TraceID(event, 7), Event: event, Origin: 7,
+			Stage: stage, WallNs: wall, SinceNs: since,
+		}
+		if extra != nil {
+			extra(st)
+		}
+		return obs.Record{Kind: obs.KindStage, VT: 0, Stage: st}
+	}
+	base := int64(1_722_400_000_000_000_000)
+	records := []obs.Record{
+		stage(1, obs.StageSubmit, base, 0, nil),
+		stage(1, obs.StageIngest, base+1000, 1000, nil),
+		stage(1, obs.StageAdmit, base+3000, 2000, nil),
+		stage(1, obs.StageWALCommit, base+4000, 1000, nil),
+		stage(1, obs.StageProbed, base+5000, 0, func(st *obs.StageRecord) { st.Round = 1 }),
+		stage(1, obs.StageExec, base+9000, 6000, func(st *obs.StageRecord) { st.Round = 2 }),
+		stage(1, obs.StageComplete, base+20000, 11000, func(st *obs.StageRecord) {
+			st.Round = 2
+			st.QueueNs = 6000
+			st.RoundsNs = 11000
+			st.E2ENs = 20000
+			st.Probes = 1
+			st.Flows = 2
+		}),
+		stage(2, obs.StageIngest, base+500, 0, nil),
+		stage(2, obs.StageAdmit, base+1500, 1000, nil),
+		stage(2, obs.StageExec, base+2500, 1000, func(st *obs.StageRecord) { st.Round = 1 }),
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceReport(t *testing.T) {
+	path := writeSpanFile(t)
+	var out bytes.Buffer
+	if code := run([]string{"trace", "report", path, "-top", "1"}, &out); code != 0 {
+		t.Fatalf("trace report exit %d, output:\n%s", code, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"10 stage records, 2 events, 1 completed",
+		"submit → ingest",
+		"admit → wal_commit",
+		"queue wait → exec",
+		"e2e",
+		"slowest 1 events",
+		"event 1 (origin 7, trace 65543)",
+		"round 2",
+		"(probed in 1 rounds)",
+		"fairness (e2e latency across 1 completed events)",
+		"jain index 1.0000",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q; full output:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceReportEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"trace", "report", path}, &out); code == 0 {
+		t.Fatalf("trace report on empty file exited 0, output:\n%s", out.String())
+	}
+}
+
+func TestTraceReportMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"trace", "report"}, &out); code != 2 {
+		t.Fatalf("trace report without a file exited %d, want 2", code)
+	}
+	if code := run([]string{"trace", "report", "/nonexistent/spans.jsonl"}, &out); code != 1 {
+		t.Fatalf("trace report on missing file exited %d, want 1", code)
+	}
+}

@@ -307,6 +307,13 @@ func normalizedStats(t *testing.T, client *ctl.Client) ctl.Stats {
 	st.CodecV2Conns, st.FramesV1, st.FramesV2 = 0, 0, 0
 	st.WALAppends, st.WALCheckpoints, st.WALCheckpointSeq = 0, 0, 0
 	st.WALReplayed, st.WALRecoveryMs = 0, 0
+	// Wall-clock latency is process-local: the recovered daemon re-times
+	// only replayed work, so these never match across processes.
+	st.LatencyE2EP50Ns, st.LatencyE2EP95Ns, st.LatencyE2EP99Ns, st.LatencyE2EP999Ns = 0, 0, 0, 0
+	st.LatencyQueueP50Ns, st.LatencyQueueP99Ns = 0, 0
+	st.LatencyRoundsP50Ns, st.LatencyRoundsP99Ns = 0, 0
+	st.SpansDropped = 0
+	st.WALFsyncP50Ns, st.WALFsyncP99Ns, st.WALFsyncCount = 0, 0, 0
 	return st
 }
 
@@ -334,7 +341,10 @@ func scrapeMetrics(t *testing.T, url string) map[string]string {
 		case strings.HasPrefix(line, "netupdate_wal_"),
 			strings.HasPrefix(line, "netupdate_probe_"),
 			strings.HasPrefix(line, "netupdate_ingest_codec"),
-			strings.HasPrefix(line, "netupdate_ingest_frames"):
+			strings.HasPrefix(line, "netupdate_ingest_frames"),
+			// Wall-clock latency histograms: process-local, like the
+			// fsync timings above.
+			strings.HasPrefix(line, "netupdate_latency_"):
 			continue
 		}
 		name, value, ok := strings.Cut(line, " ")

@@ -8,6 +8,11 @@
 //	updated [-addr :7421] [-k 8] [-util 0.6] [-scheduler p-lmtf]
 //	        [-alpha 4] [-seed 1] [-telemetry-addr :9090]
 //	        [-wal-dir /var/lib/updated/wal] [-wal-sync group]
+//	        [-span-out /var/log/updated/spans.jsonl]
+//
+// With -span-out set, every event's stage-level latency span (submit,
+// ingest, admit, wal_commit, probed rounds, exec, complete) is written
+// as JSON lines; analyze offline with `updatectl trace report`.
 //
 // With -telemetry-addr set, the daemon also serves live telemetry over
 // HTTP: Prometheus metrics on /metrics, expvar on /debug/vars, and
@@ -73,6 +78,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		walDir    = fs.String("wal-dir", "", "write-ahead log directory for durable admission and crash recovery (empty = off)")
 		walSync   = fs.String("wal-sync", "group", "WAL durability policy: always (fsync per record), group (fsync per commit batch), off (no fsync)")
 		walCkpt   = fs.Int("wal-checkpoint-every", ctl.DefaultCheckpointEvery, "records between automatic WAL checkpoints (<0 = never)")
+		spanOut   = fs.String("span-out", "", "write per-event stage latency spans to this JSONL file (empty = off); analyze with updatectl trace report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -134,6 +140,23 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 	}
 
 	planner := core.NewPlanner(migration.NewPlanner(net, 0), core.FailSkip)
+	opts := []ctl.ServerOption{ctl.WithHighWatermark(*watermark)}
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: span-out: %v\n", err)
+			return 1
+		}
+		// Registered before the server exists, so it runs after srv.Close
+		// below has drained the async span sink into the file.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "updated: span-out close: %v\n", err)
+			}
+		}()
+		opts = append(opts, ctl.WithSpanSink(obs.NewJSONLSink(f)))
+		fmt.Fprintf(stdout, "updated: stage spans to %s\n", *spanOut)
+	}
 	var srv *ctl.Server
 	if walLog != nil {
 		meta := &wal.Meta{
@@ -148,7 +171,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		var rec *ctl.RecoveryInfo
 		srv, rec, err = ctl.NewServerWithWAL(planner, scheduler, sim.Config{},
 			ctl.WALConfig{Log: walLog, Meta: meta, CheckpointEvery: *walCkpt},
-			ctl.WithHighWatermark(*watermark))
+			opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "updated: wal recovery: %v\n", err)
 			return 1
@@ -159,7 +182,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		}
 		fmt.Fprintf(stdout, "updated: wal in %s (sync=%s)\n", *walDir, *walSync)
 	} else {
-		srv = ctl.NewServer(planner, scheduler, sim.Config{}, ctl.WithHighWatermark(*watermark))
+		srv = ctl.NewServer(planner, scheduler, sim.Config{}, opts...)
 	}
 
 	var telemetrySrv *http.Server

@@ -27,6 +27,10 @@ type Client struct {
 	binary bool
 	br     *bufio.Reader
 	buf    []byte
+	// spanOn/spanOrigin: when enabled, submit/submit-batch requests
+	// carry a span context stamped at send time.
+	spanOn     bool
+	spanOrigin uint16
 }
 
 // Dial connects to a controller at addr, speaking JSON v1.
@@ -104,10 +108,36 @@ func readResponseFrame(br *bufio.Reader, scratch []byte) (*Response, []byte, err
 	return resp, scratch, err
 }
 
+// Features reports the optional protocol capabilities the server
+// advertised on a ping (empty for pre-feature servers).
+func (c *Client) Features() ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Features, nil
+}
+
+// EnableSpans attaches a latency span context (origin identity + submit
+// wall stamp) to every subsequent submit and submit-batch request. On
+// the binary codec the context rides behind a flag bit that pre-span
+// servers reject, so callers must first confirm support — dial, call
+// Features, and enable only when FeatureSpanContext is present. JSON v1
+// servers of any age simply ignore the unknown field.
+func (c *Client) EnableSpans(origin uint16) {
+	c.mu.Lock()
+	c.spanOn = true
+	c.spanOrigin = origin
+	c.mu.Unlock()
+}
+
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.spanOn && req.Span == nil && (req.Op == OpSubmit || req.Op == OpSubmitBatch) {
+		req.Span = &obs.SpanContext{Origin: c.spanOrigin, SubmitWallNs: time.Now().UnixNano()}
+	}
 	var resp Response
 	if c.binary {
 		frame, err := AppendRequestFrame(c.buf[:0], &req)

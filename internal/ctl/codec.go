@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+
+	"netupdate/internal/obs"
 )
 
 // Binary v2 framing. Every frame — request or response — is an 8-byte
@@ -52,7 +54,17 @@ const (
 )
 
 // Request flag bits.
-const reqFlagRetry byte = 1 << 0
+const (
+	reqFlagRetry byte = 1 << 0
+	// reqFlagSpan marks a submit-batch frame whose payload is prefixed
+	// with a 10-byte span context (u16 origin + u64 submit wall ns).
+	// Pre-span v2 servers reject the unexpected bytes, so clients only
+	// set it after the ping response advertised FeatureSpanContext.
+	reqFlagSpan byte = 1 << 1
+)
+
+// spanCtxWireSize is the encoded size of the flag-gated span context.
+const spanCtxWireSize = 10
 
 // Submit-batch payload caps: far above any sane batch, far below what a
 // hostile length field could otherwise demand.
@@ -86,6 +98,11 @@ func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 		kind = binOpPing
 	case OpSubmitBatch:
 		kind = binOpSubmitBatch
+		if req.Span != nil {
+			flags |= reqFlagSpan
+			buf = binary.LittleEndian.AppendUint16(buf, req.Span.Origin)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(req.Span.SubmitWallNs))
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Events)))
 		for i := range req.Events {
 			ev := &req.Events[i]
@@ -152,6 +169,16 @@ func parseBinaryRequest(data []byte) (*Request, error) {
 		req.Op = OpPing
 	case binOpSubmitBatch:
 		req.Op = OpSubmitBatch
+		if flags&reqFlagSpan != 0 {
+			if len(payload) < spanCtxWireSize {
+				return nil, fmt.Errorf("%w: truncated span context", ErrBadRequest)
+			}
+			req.Span = &obs.SpanContext{
+				Origin:       binary.LittleEndian.Uint16(payload),
+				SubmitWallNs: int64(binary.LittleEndian.Uint64(payload[2:])),
+			}
+			payload = payload[spanCtxWireSize:]
+		}
 		events, err := decodeBatchPayload(payload)
 		if err != nil {
 			return nil, err

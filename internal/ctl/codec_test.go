@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"netupdate/internal/core"
 	"netupdate/internal/migration"
 	"netupdate/internal/netstate"
+	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
@@ -33,6 +35,9 @@ func TestRequestFrameRoundTrip(t *testing.T) {
 				{Src: 3, Dst: 4, DemandBps: 2_000_000, SizeBytes: 1 << 20},
 			}},
 			{Flows: []FlowSpec{{Src: 5, Dst: 6, DemandBps: 7}}},
+		}},
+		{Op: OpSubmitBatch, Span: &obs.SpanContext{Origin: 9, SubmitWallNs: 1722400000123456789}, Events: []EventSpec{
+			{Kind: "spanned", Flows: []FlowSpec{{Src: 1, Dst: 2, DemandBps: 5}}},
 		}},
 		{Op: OpSubmit, Event: &EventSpec{Kind: "x", Flows: []FlowSpec{{Src: 0, Dst: 1, DemandBps: 9}}}},
 		{Op: OpStatus, EventID: 42},
@@ -293,8 +298,9 @@ func TestPipelineServerGone(t *testing.T) {
 }
 
 // startCodecServer brings up a server over its own deterministically
-// seeded network for the trace-parity test.
-func startCodecServer(t *testing.T, probes int) string {
+// seeded network for the trace-parity test. Extra server options (e.g.
+// a span sink) are applied as given.
+func startCodecServer(t *testing.T, probes int, opts ...ServerOption) string {
 	t.Helper()
 	ft, err := topology.NewFatTree(4, topology.Gbps)
 	if err != nil {
@@ -309,7 +315,7 @@ func startCodecServer(t *testing.T, probes int) string {
 		t.Fatal(err)
 	}
 	planner := core.NewPlanner(migration.NewPlanner(net1, 0), core.FailSkip)
-	srv := NewServer(planner, sched.NewLMTF(4, 99), sim.Config{InstallTime: time.Millisecond, Probes: probes})
+	srv := NewServer(planner, sched.NewLMTF(4, 99), sim.Config{InstallTime: time.Millisecond, Probes: probes}, opts...)
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -329,9 +335,12 @@ func startCodecServer(t *testing.T, probes int) string {
 }
 
 // TestCodecTraceParity runs the same workload through {JSON v1, binary
-// v2} x {serial, parallel} probing and demands byte-identical traces:
-// the codec and the probe concurrency are transport/throughput knobs
-// and must not leak into scheduling decisions.
+// v2} x {serial, parallel} probing x {spans off, spans on} and demands
+// byte-identical virtual-clock traces: the codec, the probe concurrency
+// and the latency span pipeline are transport/observability knobs and
+// must not leak into scheduling decisions. Stage records go to their
+// own span channel, never the trace ring, so even with a span sink
+// attached the main trace must not move.
 func TestCodecTraceParity(t *testing.T) {
 	specs := []EventSpec{
 		{Kind: "a", Flows: []FlowSpec{{Src: 0, Dst: 1, DemandBps: 40e6}, {Src: 2, Dst: 3, DemandBps: 60e6}}},
@@ -343,16 +352,26 @@ func TestCodecTraceParity(t *testing.T) {
 		name   string
 		binary bool
 		probes int
+		spans  bool
 	}
 	combos := []combo{
-		{"v1-serial", false, 1},
-		{"v1-parallel", false, 4},
-		{"v2-serial", true, 1},
-		{"v2-parallel", true, 4},
+		{"v1-serial", false, 1, false},
+		{"v1-parallel", false, 4, false},
+		{"v2-serial", true, 1, false},
+		{"v2-parallel", true, 4, false},
+		{"v1-serial-spans", false, 1, true},
+		{"v1-parallel-spans", false, 4, true},
+		{"v2-serial-spans", true, 1, true},
+		{"v2-parallel-spans", true, 4, true},
 	}
 	traces := make(map[string]string)
 	for _, cb := range combos {
-		addr := startCodecServer(t, cb.probes)
+		var opts []ServerOption
+		var spanBuf syncBuffer
+		if cb.spans {
+			opts = append(opts, WithSpanSink(obs.NewJSONLSink(&spanBuf)))
+		}
+		addr := startCodecServer(t, cb.probes, opts...)
 		var client *Client
 		var err error
 		if cb.binary {
@@ -362,6 +381,16 @@ func TestCodecTraceParity(t *testing.T) {
 		}
 		if err != nil {
 			t.Fatal(err)
+		}
+		if cb.spans {
+			feats, err := client.Features()
+			if err != nil {
+				t.Fatalf("%s: Features: %v", cb.name, err)
+			}
+			if !slices.Contains(feats, FeatureSpanContext) {
+				t.Fatalf("%s: server does not advertise %q (got %v)", cb.name, FeatureSpanContext, feats)
+			}
+			client.EnableSpans(3)
 		}
 		verdicts, _, err := client.SubmitBatch(specs)
 		if err != nil {

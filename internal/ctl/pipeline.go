@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"netupdate/internal/obs"
 )
 
 // ErrInFlight marks a SubmitBatch error where the request had already
@@ -60,6 +62,11 @@ type Pipeline struct {
 	outstanding sync.WaitGroup
 	stop        chan struct{}
 	readerDone  chan struct{}
+
+	// spanOn/spanOrigin: when enabled (EnableSpans), every batch carries
+	// a span context stamped at send time.
+	spanOn     bool
+	spanOrigin uint16
 }
 
 // DialPipeline connects to a controller at addr and returns a pipeline
@@ -87,6 +94,19 @@ func NewPipeline(conn net.Conn, window int, onResult func(BatchResult)) *Pipelin
 	}
 	go p.readLoop()
 	return p
+}
+
+// EnableSpans attaches a latency span context (origin identity + submit
+// wall stamp) to every subsequent batch. The pipeline speaks the binary
+// codec, where the context rides behind a flag bit pre-span servers
+// reject — callers must first confirm the server advertises
+// FeatureSpanContext (Client.Features over a plain connection). Not
+// safe to call concurrently with SubmitBatch.
+func (p *Pipeline) EnableSpans(origin uint16) {
+	p.sendMu.Lock()
+	p.spanOn = true
+	p.spanOrigin = origin
+	p.sendMu.Unlock()
 }
 
 // fail records the first connection error.
@@ -120,9 +140,14 @@ func (p *Pipeline) SubmitBatch(events []EventSpec, retry bool) error {
 	}
 	// Reserve an in-flight slot before writing; the reader releases it
 	// when the response (or the connection's death) arrives.
-	p.inflight <- time.Now()
+	now := time.Now()
+	p.inflight <- now
 	p.outstanding.Add(1)
-	frame, err := AppendRequestFrame(p.buf[:0], &Request{Op: OpSubmitBatch, Events: events, Retry: retry})
+	req := Request{Op: OpSubmitBatch, Events: events, Retry: retry}
+	if p.spanOn {
+		req.Span = &obs.SpanContext{Origin: p.spanOrigin, SubmitWallNs: now.UnixNano()}
+	}
+	frame, err := AppendRequestFrame(p.buf[:0], &req)
 	if err != nil {
 		// Nothing hit the wire: hand the slot back ourselves.
 		<-p.inflight

@@ -122,6 +122,13 @@ type Request struct {
 	N int `json:"n,omitempty"`
 	// Fault accompanies OpFault.
 	Fault *FaultSpec `json:"fault,omitempty"`
+	// Span is the optional latency span context of a submit/submit-batch
+	// request: the submitter's 16-bit origin identity and its wall clock
+	// at submit. Old servers ignore it (unknown JSON field; flag-gated
+	// binary prefix) — clients discover support via the "span-ctx"
+	// feature in the ping response before attaching it on the binary
+	// codec.
+	Span *obs.SpanContext `json:"span,omitempty"`
 }
 
 // ParseRequest decodes and shape-checks one request frame, in either
@@ -263,6 +270,28 @@ type Stats struct {
 	WALCheckpoints   int64 `json:"wal_checkpoints,omitempty"`
 	WALReplayed      int64 `json:"wal_replayed,omitempty"`
 	WALRecoveryMs    int64 `json:"wal_recovery_ms,omitempty"`
+	// Latency pipeline percentiles (wall-clock nanoseconds, explicitly
+	// non-deterministic): end-to-end submit→completion, plus the
+	// overload breakdown of where the time went (time-in-queue =
+	// admission→exec start, time-in-rounds = exec start→completion).
+	// Zero until at least one event completed since boot.
+	LatencyE2EP50Ns    int64 `json:"latency_e2e_p50_ns,omitempty"`
+	LatencyE2EP95Ns    int64 `json:"latency_e2e_p95_ns,omitempty"`
+	LatencyE2EP99Ns    int64 `json:"latency_e2e_p99_ns,omitempty"`
+	LatencyE2EP999Ns   int64 `json:"latency_e2e_p999_ns,omitempty"`
+	LatencyQueueP50Ns  int64 `json:"latency_queue_p50_ns,omitempty"`
+	LatencyQueueP99Ns  int64 `json:"latency_queue_p99_ns,omitempty"`
+	LatencyRoundsP50Ns int64 `json:"latency_rounds_p50_ns,omitempty"`
+	LatencyRoundsP99Ns int64 `json:"latency_rounds_p99_ns,omitempty"`
+	// SpansDropped counts span records the bounded span sink rejected
+	// instead of backpressuring the state loop.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+	// WAL fsync latency (per group commit under the group policy, per
+	// append under always; absent under off or without a WAL).
+	WALSyncPolicy string `json:"wal_sync_policy,omitempty"`
+	WALFsyncP50Ns int64  `json:"wal_fsync_p50_ns,omitempty"`
+	WALFsyncP99Ns int64  `json:"wal_fsync_p99_ns,omitempty"`
+	WALFsyncCount int64  `json:"wal_fsync_count,omitempty"`
 }
 
 // SubmitVerdict is one event's outcome within an OpSubmitBatch
@@ -319,7 +348,16 @@ type Response struct {
 	Trace []obs.Record `json:"trace,omitempty"`
 	// Fault answers OpFault.
 	Fault *FaultResult `json:"fault,omitempty"`
+	// Features answers OpPing: optional protocol capabilities this
+	// server speaks (e.g. FeatureSpanContext). Old servers simply omit
+	// it, which is how clients downgrade.
+	Features []string `json:"features,omitempty"`
 }
+
+// FeatureSpanContext advertises (in the ping response) that the server
+// decodes the span-context field on submit requests — including the
+// flag-gated binary prefix, which pre-span v2 peers would reject.
+const FeatureSpanContext = "span-ctx"
 
 // Protocol-level errors.
 var (

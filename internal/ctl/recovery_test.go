@@ -231,6 +231,13 @@ func captureDigest(t *testing.T, srv *Server, client *Client) runDigest {
 	st.CodecV2Conns, st.FramesV1, st.FramesV2 = 0, 0, 0
 	st.WALAppends, st.WALCheckpoints, st.WALCheckpointSeq = 0, 0, 0
 	st.WALReplayed, st.WALRecoveryMs = 0, 0
+	// Wall-clock latency is explicitly non-deterministic and process-
+	// local: a recovered server re-times only the work it redid.
+	st.LatencyE2EP50Ns, st.LatencyE2EP95Ns, st.LatencyE2EP99Ns, st.LatencyE2EP999Ns = 0, 0, 0, 0
+	st.LatencyQueueP50Ns, st.LatencyQueueP99Ns = 0, 0
+	st.LatencyRoundsP50Ns, st.LatencyRoundsP99Ns = 0, 0
+	st.SpansDropped = 0
+	st.WALFsyncP50Ns, st.WALFsyncP99Ns, st.WALFsyncCount = 0, 0, 0
 
 	results, err := client.Results()
 	if err != nil {
@@ -251,9 +258,12 @@ func captureDigest(t *testing.T, srv *Server, client *Client) runDigest {
 		case strings.HasPrefix(k, "netupdate_wal_"),
 			strings.HasPrefix(k, "netupdate_probe_"),
 			strings.HasPrefix(k, "netupdate_ingest_codec"),
-			strings.HasPrefix(k, "netupdate_ingest_frames"):
-			// Process-local: cache warmth and per-connection codec
-			// traffic do not survive a crash and are not supposed to.
+			strings.HasPrefix(k, "netupdate_ingest_frames"),
+			strings.HasPrefix(k, "netupdate_latency_"),
+			strings.HasPrefix(k, "obs_spans_dropped"):
+			// Process-local: cache warmth, per-connection codec traffic
+			// and wall-clock latency timings do not survive a crash and
+			// are not supposed to.
 			continue
 		}
 		metrics[k] = v

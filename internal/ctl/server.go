@@ -39,6 +39,16 @@ type Server struct {
 	ring     *obs.RingSink
 	ingest   *obs.IngestMetrics
 
+	// Latency span pipeline: the recorder is state-loop confined (like
+	// the engine it instruments); stage records go out through a bounded
+	// async sink so a slow span consumer can never backpressure the loop.
+	// lat and spans always exist — histograms feed /metrics and Stats
+	// even when no span sink is configured.
+	lat       *obs.LatencyMetrics
+	spans     *obs.SpanRecorder
+	spanSink  obs.Sink // as configured by WithSpanSink (nil = none)
+	spanAsync *obs.AsyncSink
+
 	// watermark bounds the update queue: submissions arriving at or past
 	// it are rejected with a typed overload response instead of queued.
 	watermark int
@@ -81,8 +91,11 @@ type Server struct {
 
 // command is one request routed to the state loop.
 type command struct {
-	req   Request
-	reply chan Response
+	req Request
+	// ingestWall is the server wall clock when the request was decoded
+	// off the wire (span pipeline's ingest stamp).
+	ingestWall int64
+	reply      chan Response
 }
 
 // traceRingSize bounds the server's trace ring: enough for a few
@@ -99,8 +112,23 @@ const DefaultHighWatermark = 4096
 // into the scheduler queue in bulk) instead of costing one wakeup each.
 const cmdBacklog = 1024
 
+// spanSinkDepth bounds the async span sink's ring: deep enough to absorb
+// a burst of stage records while the consumer flushes, small enough that
+// a stuck consumer costs bounded memory (overflow drops and counts).
+const spanSinkDepth = 8192
+
 // ServerOption configures a Server at construction.
 type ServerOption func(*Server)
+
+// WithSpanSink routes stage-level latency span records (obs.KindStage)
+// to sink, e.g. an obs.JSONLSink over a span file. The server wraps the
+// sink in a bounded async stage so span emission never blocks the state
+// loop; overflow drops records and counts them in
+// obs_spans_dropped_total. The sink receives records from a background
+// goroutine and is flushed and released by Server.Close.
+func WithSpanSink(sink obs.Sink) ServerOption {
+	return func(s *Server) { s.spanSink = sink }
+}
 
 // WithHighWatermark sets the intake bound: submissions arriving when the
 // update queue holds n or more events are answered with a typed
@@ -150,11 +178,21 @@ func newServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config,
 	// Attach the tracer before the state loop starts so the engine never
 	// sees a concurrent SetTracer.
 	s.engine.SetTracer(obs.NewTracer(s.ring, obs.NewSimMetrics(s.registry)))
+	s.lat = obs.NewLatencyMetrics(s.registry)
+	var spanOut obs.Sink
+	if s.spanSink != nil {
+		s.spanAsync = obs.NewAsyncSink(s.spanSink, spanSinkDepth, s.lat.SpansDropped)
+		spanOut = s.spanAsync
+	}
+	s.spans = obs.NewSpanRecorder(spanOut, s.lat)
 	return s
 }
 
 // start launches the state loop. Call exactly once, after any recovery.
+// The span recorder is attached here — after WAL replay — so replayed
+// history re-executes without emitting span records or latency samples.
 func (s *Server) start() {
+	s.engine.SetSpans(s.spans)
 	s.loop.Add(1)
 	go s.stateLoop()
 }
@@ -242,6 +280,13 @@ func (s *Server) Close() error {
 	// appended is durable before the process goes away.
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Drain and release the span channel: nothing emits anymore, so Close
+	// delivers every buffered stage record and flushes the inner sink.
+	if s.spanAsync != nil {
+		if err := s.spanAsync.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -376,7 +421,7 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: false, Error: ErrServerClosed.Error()}
 	default:
 	}
-	cmd := command{req: req, reply: make(chan Response, 1)}
+	cmd := command{req: req, ingestWall: time.Now().UnixNano(), reply: make(chan Response, 1)}
 	select {
 	case s.cmds <- cmd:
 		// A send that races shutdown is still answered: the state loop
@@ -470,10 +515,24 @@ func (s *Server) handleBatch(batch []command) {
 	var replies []Response
 	flush := func() {
 		s.engine.EnqueueBatch(staged)
-		staged = staged[:0]
+		if len(staged) > 0 {
+			// One wall stamp per flush: the whole staged batch entered the
+			// queue in one EnqueueBatch, so its events share an admit time.
+			wall := time.Now().UnixNano()
+			for _, ev := range staged {
+				s.spans.Admitted(int64(ev.ID), wall, int64(ev.Arrival))
+			}
+		}
 		// Append-before-ack: the WAL records for every staged admission
 		// must be durable (per the sync policy) before any OK goes out.
 		s.walCommit()
+		if s.wal != nil && len(staged) > 0 {
+			wall := time.Now().UnixNano()
+			for _, ev := range staged {
+				s.spans.WALCommitted(int64(ev.ID), wall, int64(ev.Arrival))
+			}
+		}
+		staged = staged[:0]
 		for i, cmd := range pending {
 			cmd.reply <- replies[i]
 		}
@@ -483,7 +542,7 @@ func (s *Server) handleBatch(batch []command) {
 		switch cmd.req.Op {
 		case OpSubmit, OpSubmitBatch:
 			pending = append(pending, cmd)
-			replies = append(replies, s.stageSubmit(cmd.req, &staged))
+			replies = append(replies, s.stageSubmit(cmd.req, cmd.ingestWall, &staged))
 		default:
 			flush()
 			cmd.reply <- s.handleRequest(cmd.req)
@@ -495,8 +554,10 @@ func (s *Server) handleBatch(batch []command) {
 // stageSubmit validates and stages the events of one submit or
 // submit-batch request, applying the watermark policy against the
 // effective depth (queued plus already staged). It returns the response
-// to send once the staged events have been enqueued.
-func (s *Server) stageSubmit(req Request, staged *[]*core.Event) Response {
+// to send once the staged events have been enqueued. ingestWall is the
+// wall clock stamped when the request came off the wire; it opens each
+// accepted event's latency span.
+func (s *Server) stageSubmit(req Request, ingestWall int64, staged *[]*core.Event) Response {
 	specs := req.Events
 	if req.Op == OpSubmit {
 		specs = []EventSpec{*req.Event}
@@ -539,16 +600,23 @@ func (s *Server) stageSubmit(req Request, staged *[]*core.Event) Response {
 		*staged = append(*staged, ev)
 		verdicts[i] = SubmitVerdict{OK: true, EventID: id}
 		accepted++
+		var sc obs.SpanContext
+		if req.Span != nil {
+			sc = *req.Span
+		}
+		s.spans.Opened(id, sc, ingestWall, int64(ev.Arrival))
 		if s.wal != nil {
 			rec := wal.Record{
 				Type:   wal.TypeEvent,
 				ID:     wal.ID{VT: int64(ev.Arrival)},
 				Rounds: s.engine.Rounds(),
 				Event: &wal.EventRecord{
-					EventID: id,
-					Kind:    kind,
-					Retry:   req.Retry,
-					Flows:   make([]wal.FlowSpec, len(specs[i].Flows)),
+					EventID:      id,
+					Kind:         kind,
+					Retry:        req.Retry,
+					Flows:        make([]wal.FlowSpec, len(specs[i].Flows)),
+					Origin:       sc.Origin,
+					SubmitWallNs: sc.SubmitWallNs,
 				},
 			}
 			for j, f := range specs[i].Flows {
@@ -613,7 +681,9 @@ func (s *Server) overloadInfo(depth int) *OverloadInfo {
 func (s *Server) handleRequest(req Request) Response {
 	switch req.Op {
 	case OpPing:
-		return Response{OK: true}
+		// Feature negotiation: clients probe here before enabling binary
+		// extensions a pre-feature server would reject.
+		return Response{OK: true, Features: []string{FeatureSpanContext}}
 
 	case OpStatus:
 		ev, ok := s.events[req.EventID]
@@ -671,6 +741,15 @@ func (s *Server) handleRequest(req Request) Response {
 			CodecV2Conns:            s.ingest.CodecV2Conns.Value(),
 			FramesV1:                s.ingest.FramesV1.Value(),
 			FramesV2:                s.ingest.FramesV2.Value(),
+			LatencyE2EP50Ns:         s.lat.E2E.Percentile(50),
+			LatencyE2EP95Ns:         s.lat.E2E.Percentile(95),
+			LatencyE2EP99Ns:         s.lat.E2E.Percentile(99),
+			LatencyE2EP999Ns:        s.lat.E2E.Percentile(99.9),
+			LatencyQueueP50Ns:       s.lat.Queue.Percentile(50),
+			LatencyQueueP99Ns:       s.lat.Queue.Percentile(99),
+			LatencyRoundsP50Ns:      s.lat.Rounds.Percentile(50),
+			LatencyRoundsP99Ns:      s.lat.Rounds.Percentile(99),
+			SpansDropped:            s.lat.SpansDropped.Value(),
 		}
 		if s.walMet != nil {
 			st.WALEnabled = true
@@ -680,6 +759,12 @@ func (s *Server) handleRequest(req Request) Response {
 			st.WALCheckpoints = s.walMet.Checkpoints.Value()
 			st.WALReplayed = s.walMet.Replayed.Value()
 			st.WALRecoveryMs = s.walMet.RecoveryMs.Value()
+		}
+		if s.wal != nil {
+			st.WALSyncPolicy = s.wal.Policy().String()
+			st.WALFsyncP50Ns = s.lat.WALFsync.Percentile(50)
+			st.WALFsyncP99Ns = s.lat.WALFsync.Percentile(99)
+			st.WALFsyncCount = s.lat.WALFsync.Count()
 		}
 		return Response{OK: true, Stats: st}
 

@@ -248,6 +248,7 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 		return nil, nil, err
 	}
 	s.wal = w
+	s.attachFsyncObserver()
 	s.walSeq = w.LastSeq()
 	s.walMet.LastSeq.Set(s.walSeq)
 
@@ -327,10 +328,18 @@ func (s *Server) doCheckpoint() error {
 		return err
 	}
 	s.wal = w
+	s.attachFsyncObserver()
 	s.sinceCkpt = 0
 	s.walMet.Checkpoints.Inc()
 	s.walMet.CheckpointSeq.Set(id.Seq)
 	return nil
+}
+
+// attachFsyncObserver routes the writer's per-fsync wall durations into
+// the fsync latency histogram. Re-attached after every segment rotation
+// (Rotate returns a fresh writer).
+func (s *Server) attachFsyncObserver() {
+	s.wal.SetSyncObserver(func(ns int64) { s.lat.WALFsync.Observe(ns) })
 }
 
 // buildCheckpoint captures the full controller state (state loop only).

@@ -164,6 +164,9 @@ type Histogram struct {
 	counts     []atomic.Int64
 	sum        atomic.Int64
 	count      atomic.Int64
+	// max tracks the largest observation so Percentile can snap to it
+	// instead of reporting a wide bucket's upper bound (or +Inf).
+	max atomic.Int64
 }
 
 // NewDurationHistogram registers a histogram with 32 power-of-two
@@ -198,6 +201,50 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Percentile estimates the p-th percentile (0 < p <= 100) by
+// nearest-rank over the cumulative bucket counts, reporting the upper
+// bound of the bucket the rank falls in. Because log buckets double,
+// that upper bound can sit far past the largest sample actually
+// observed — so any estimate above the tracked maximum snaps to the
+// maximum, which also gives the +Inf bucket a finite answer. Returns 0
+// when the histogram is empty or p <= 0 (matching the repo-wide
+// percentile contract).
+func (h *Histogram) Percentile(p float64) int64 {
+	total := h.count.Load()
+	if total == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(total)))
+	var cum int64
+	var v int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				v = h.bounds[i]
+			} else {
+				v = h.max.Load()
+			}
+			break
+		}
+	}
+	// Snap to the observed max (when known: histograms restored from
+	// pre-max checkpoints carry max == 0 and keep the bucket bound).
+	if m := h.max.Load(); m > 0 && v > m {
+		v = m
+	}
+	return v
 }
 
 // HistogramState is a serializable snapshot of a histogram's raw
@@ -207,11 +254,12 @@ type HistogramState struct {
 	Counts []int64 `json:"counts"`
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+	Max    int64   `json:"max,omitempty"`
 }
 
 // State captures the histogram for checkpointing.
 func (h *Histogram) State() HistogramState {
-	st := HistogramState{Counts: make([]int64, len(h.counts)), Sum: h.Sum(), Count: h.Count()}
+	st := HistogramState{Counts: make([]int64, len(h.counts)), Sum: h.Sum(), Count: h.Count(), Max: h.max.Load()}
 	for i := range h.counts {
 		st.Counts[i] = h.counts[i].Load()
 	}
@@ -229,6 +277,12 @@ func (h *Histogram) Restore(st HistogramState) {
 	}
 	h.sum.Add(st.Sum)
 	h.count.Add(st.Count)
+	for {
+		m := h.max.Load()
+		if st.Max <= m || h.max.CompareAndSwap(m, st.Max) {
+			break
+		}
+	}
 }
 
 // Count returns the number of observations.
@@ -494,6 +548,89 @@ func NewWALMetrics(r *Registry) *WALMetrics {
 		Replayed:   r.NewCounter("netupdate_wal_replayed_records", "Records replayed from the log during the last recovery."),
 		RecoveryMs: r.NewGauge("netupdate_wal_recovery_ms", "Wall-clock milliseconds the last recovery took."),
 	}
+}
+
+// Quantiles renders chosen percentiles of a histogram at scrape time as
+// a labelled gauge family (name{q="0.99"} ...). It registers no storage
+// of its own — values come from Histogram.Percentile on demand.
+type Quantiles struct {
+	name, help string
+	h          *Histogram
+	qs         []float64
+}
+
+// NewQuantiles registers a quantile view over h. qs are percentiles in
+// (0, 100], e.g. 50, 95, 99, 99.9.
+func (r *Registry) NewQuantiles(name, help string, h *Histogram, qs ...float64) *Quantiles {
+	q := &Quantiles{name: name, help: help, h: h, qs: append([]float64(nil), qs...)}
+	r.register(q)
+	return q
+}
+
+func (q *Quantiles) metricName() string { return q.name }
+
+func (q *Quantiles) snapshot() any {
+	out := make(map[string]int64, len(q.qs))
+	for _, p := range q.qs {
+		out["p"+formatFloat(p)] = q.h.Percentile(p)
+	}
+	return out
+}
+
+func (q *Quantiles) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", q.name, q.help, q.name)
+	for _, p := range q.qs {
+		fmt.Fprintf(w, "%s{q=\"%s\"} %d\n", q.name, formatFloat(p/100), q.h.Percentile(p))
+	}
+}
+
+// LatencyMetrics is the stage-level latency pipeline: wall-clock
+// histograms for each hop an event takes from client submit to
+// completion, the end-to-end distribution with a scrape-time quantile
+// view, the WAL fsync latency, and the span-drop counter of the bounded
+// span sink. All values are wall-clock nanoseconds and therefore
+// explicitly NON-deterministic — they never enter trace records on the
+// virtual-clock channel.
+type LatencyMetrics struct {
+	// Ingest is client submit → server ingest decode (requires a wire
+	// span context; empty otherwise). Admit is ingest decode → queue
+	// admission; WALCommit is admission → durable (WAL servers only).
+	Ingest    *Histogram
+	Admit     *Histogram
+	WALCommit *Histogram
+	// Queue is admission → execution start (time-in-queue) and Rounds is
+	// execution start → completion (time-in-rounds): together they are
+	// the overload breakdown that makes watermark backpressure visible.
+	Queue  *Histogram
+	Rounds *Histogram
+	// E2E is the end-to-end latency: client submit (or, without wire
+	// context, server ingest) → completion.
+	E2E *Histogram
+	// WALFsync observes each fsync issued by the WAL writer; under
+	// SyncGroup one sample per group commit, under SyncAlways one per
+	// append.
+	WALFsync *Histogram
+	// SpansDropped counts span records dropped by the bounded span sink
+	// instead of backpressuring the state loop.
+	SpansDropped *Counter
+}
+
+// NewLatencyMetrics registers the latency pipeline metric set.
+func NewLatencyMetrics(r *Registry) *LatencyMetrics {
+	m := &LatencyMetrics{
+		Ingest:    r.NewDurationHistogram("netupdate_latency_submit_ingest_ns", "Client submit to server ingest decode, wall ns (requires wire span context)."),
+		Admit:     r.NewDurationHistogram("netupdate_latency_ingest_admit_ns", "Server ingest decode to queue admission, wall ns."),
+		WALCommit: r.NewDurationHistogram("netupdate_latency_wal_commit_ns", "Queue admission to durable WAL commit, wall ns."),
+		Queue:     r.NewDurationHistogram("netupdate_latency_queue_ns", "Queue admission to execution start (time-in-queue), wall ns."),
+		Rounds:    r.NewDurationHistogram("netupdate_latency_rounds_ns", "Execution start to completion (time-in-rounds), wall ns."),
+		E2E:       r.NewDurationHistogram("netupdate_latency_e2e_ns", "End-to-end event latency (submit or ingest to completion), wall ns."),
+		WALFsync:  r.NewDurationHistogram("netupdate_wal_fsync_ns", "WAL fsync duration, wall ns (per group commit under group policy, per append under always)."),
+		SpansDropped: r.NewCounter("obs_spans_dropped_total",
+			"Span records dropped by the bounded span sink instead of backpressuring the state loop."),
+	}
+	r.NewQuantiles("netupdate_latency_e2e_quantile_ns",
+		"End-to-end event latency percentiles, wall ns.", m.E2E, 50, 95, 99, 99.9)
+	return m
 }
 
 // SetProbeDetail refreshes the miss-split gauges from run totals.

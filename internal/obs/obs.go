@@ -37,12 +37,21 @@ const (
 	KindRound = "round"
 	// KindFault marks a fault injection being applied to the run.
 	KindFault = "fault"
+	// KindStage is a stage transition of the latency span pipeline.
+	// Unlike every other kind, stage records carry wall-clock fields and
+	// therefore flow ONLY through the separate span channel, never
+	// through a virtual-clock trace sink (see span.go).
+	KindStage = "stage"
 )
 
 // Record is one trace entry. Exactly one payload pointer is non-nil,
 // matching Kind. VT is the virtual clock in nanoseconds at emission; no
-// record field ever carries wall-clock time, which is what makes traces
-// reproducible byte-for-byte across runs and probe-concurrency settings.
+// trace-channel record ever carries wall-clock time, which is what makes
+// traces reproducible byte-for-byte across runs and probe-concurrency
+// settings. The single exception is KindStage: its payload carries wall
+// clocks by design and is confined to the separate, explicitly
+// non-deterministic span channel (SpanRecorder) — it never reaches a
+// virtual-clock trace sink.
 type Record struct {
 	Kind string `json:"k"`
 	VT   int64  `json:"vt"`
@@ -52,6 +61,7 @@ type Record struct {
 	Round   *RoundRecord   `json:"round,omitempty"`
 	Span    *SpanRecord    `json:"span,omitempty"`
 	Fault   *FaultRecord   `json:"fault,omitempty"`
+	Stage   *StageRecord   `json:"stage,omitempty"`
 }
 
 // RunRecord opens a run: one per Engine.Run with a tracer attached.

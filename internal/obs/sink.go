@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"runtime"
 	"sync"
 )
 
@@ -103,6 +104,111 @@ func (s *RingSink) Total() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// AsyncSink decouples record emission from the wrapped sink's writer: a
+// bounded ring buffer sits between Emit (which copies the record and
+// returns immediately) and a background goroutine draining into the
+// inner sink. When the ring is full the record is dropped and counted
+// instead of blocking — so span recording can never backpressure the
+// state loop, no matter how slow the sink's disk is. Built for the span
+// channel; any Sink can be wrapped.
+type AsyncSink struct {
+	inner   Sink
+	dropped *Counter // may be nil; local count kept either way
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []Record
+	head, n int
+	drops   int64
+	closed  bool
+	done    chan struct{}
+}
+
+// NewAsyncSink wraps inner with a ring of depth records (minimum 1) and
+// starts the drain goroutine. dropped, when non-nil, is bumped for every
+// record the full ring rejects. Call Close to stop the goroutine and
+// flush inner.
+func NewAsyncSink(inner Sink, depth int, dropped *Counter) *AsyncSink {
+	if depth < 1 {
+		depth = 1
+	}
+	s := &AsyncSink{inner: inner, dropped: dropped, buf: make([]Record, depth), done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	go s.drain()
+	return s
+}
+
+// Emit implements Sink: copy into the ring, or drop when full. Never
+// blocks on the inner sink.
+func (s *AsyncSink) Emit(r *Record) {
+	s.mu.Lock()
+	if s.closed || s.n == len(s.buf) {
+		s.drops++
+		s.mu.Unlock()
+		if s.dropped != nil {
+			s.dropped.Inc()
+		}
+		return
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = *r
+	s.n++
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *AsyncSink) drain() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for s.n == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.n == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		r := s.buf[s.head]
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.mu.Unlock()
+		s.inner.Emit(&r)
+	}
+}
+
+// Dropped returns the number of records rejected by the full ring.
+func (s *AsyncSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}
+
+// Flush waits for the ring to drain, then flushes the inner sink.
+func (s *AsyncSink) Flush() error {
+	s.mu.Lock()
+	for s.n > 0 && !s.closed {
+		s.mu.Unlock()
+		// The drainer holds no lock while writing; yield until it
+		// catches up.
+		runtime.Gosched()
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+	return s.inner.Flush()
+}
+
+// Close stops the drain goroutine after the ring empties and flushes
+// the inner sink. Emits after Close are counted as drops.
+func (s *AsyncSink) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.inner.Flush()
 }
 
 // Last returns up to n of the most recent records, oldest first.

@@ -1,0 +1,276 @@
+package obs
+
+import "time"
+
+// This file is the stage-level latency span pipeline: a wire-propagated
+// SpanContext opened at client submit, per-stage StageRecords emitted on
+// a dedicated span channel, and the SpanRecorder that turns stage
+// transitions into records and latency histograms.
+//
+// Determinism contract: stage records carry wall-clock stamps, so they
+// are explicitly NON-deterministic and must never be emitted into a
+// virtual-clock trace sink. The SpanRecorder enforces the split by
+// owning its own sink; the engine's Tracer never sees a stage record.
+
+// SpanContext is the trace context a submitter attaches to a request.
+// Event IDs are assigned server-side, so the wire context carries only
+// the submitter's identity and its wall clock at submit; the server
+// completes the trace identity as TraceID(eventID, origin) once the
+// event is admitted. The zero value means "no context" (local submit or
+// a peer that does not speak spans).
+type SpanContext struct {
+	// Origin is a 16-bit submitter identity (loadgen worker, shard,
+	// gateway...), chosen by the client.
+	Origin uint16 `json:"origin,omitempty"`
+	// SubmitWallNs is the client wall clock at submit, Unix nanoseconds.
+	SubmitWallNs int64 `json:"submit_wall_ns,omitempty"`
+}
+
+// TraceID composes the canonical trace identity: event ID in the high
+// 48 bits, origin in the low 16.
+func TraceID(event int64, origin uint16) uint64 {
+	return uint64(event)<<16 | uint64(origin)
+}
+
+// Span pipeline stage names, in lifecycle order.
+const (
+	// StageSubmit is the client-side submit stamp (wire context only).
+	StageSubmit = "submit"
+	// StageIngest is the server decoding the request off the wire.
+	StageIngest = "ingest"
+	// StageAdmit is the event entering the update queue.
+	StageAdmit = "admit"
+	// StageWALCommit is the event's WAL record made durable.
+	StageWALCommit = "wal_commit"
+	// StageProbed marks a scheduling round that cost-probed the event.
+	StageProbed = "probed"
+	// StageExec is the event starting execution (planning + migration +
+	// rule install) as a round lane.
+	StageExec = "exec"
+	// StageComplete closes the span at event completion.
+	StageComplete = "complete"
+)
+
+// StageRecord is one stage transition of an event's latency span. WallNs
+// and the derived durations are wall-clock and non-deterministic; VT on
+// the enclosing Record carries the matching virtual-clock stamp.
+type StageRecord struct {
+	TraceID uint64 `json:"trace_id"`
+	Event   int64  `json:"event"`
+	Origin  uint16 `json:"origin,omitempty"`
+	Stage   string `json:"stage"`
+	// Round is the scheduling round for probed/exec/complete stages.
+	Round int64 `json:"round,omitempty"`
+	// WallNs is the wall clock at the transition, Unix nanoseconds.
+	WallNs int64 `json:"wall_ns,omitempty"`
+	// SinceNs is the wall time elapsed since the previous stage of this
+	// span (0 when unknown).
+	SinceNs int64 `json:"since_ns,omitempty"`
+	// Completion-only summary: the overload breakdown (QueueNs =
+	// admit → exec, RoundsNs = exec → complete) and the end-to-end
+	// latency (E2ENs = submit-or-ingest → complete), plus the outcome.
+	QueueNs    int64 `json:"queue_ns,omitempty"`
+	RoundsNs   int64 `json:"rounds_ns,omitempty"`
+	E2ENs      int64 `json:"e2e_ns,omitempty"`
+	Probes     int   `json:"probes,omitempty"`
+	Flows      int   `json:"flows,omitempty"`
+	Failed     int   `json:"failed,omitempty"`
+	Retries    int   `json:"retries,omitempty"`
+	RolledBack bool  `json:"rolled_back,omitempty"`
+}
+
+// openSpan is the recorder's per-event bookkeeping between stages.
+type openSpan struct {
+	origin     uint16
+	submitWall int64 // client stamp from the wire context; 0 if none
+	ingestWall int64
+	admitWall  int64
+	execWall   int64
+	lastWall   int64
+	probes     int
+}
+
+// SpanRecorder turns stage transitions into StageRecords on a span sink
+// and wall-clock latency histograms. Like the engine it instruments, it
+// is confined to the state-owner goroutine: every method except
+// construction must be called from the goroutine driving the engine.
+// Both sink and metrics may be nil (nil sink: histograms only).
+type SpanRecorder struct {
+	sink Sink
+	met  *LatencyMetrics
+	open map[int64]*openSpan
+}
+
+// NewSpanRecorder returns a recorder emitting stage records to sink
+// (nil = metrics only) and observing latency histograms on met (nil =
+// records only).
+func NewSpanRecorder(sink Sink, met *LatencyMetrics) *SpanRecorder {
+	return &SpanRecorder{sink: sink, met: met, open: make(map[int64]*openSpan)}
+}
+
+// Sink returns the recorder's span sink (possibly nil).
+func (r *SpanRecorder) Sink() Sink { return r.sink }
+
+func (r *SpanRecorder) emit(vt int64, s *StageRecord) {
+	if r.sink != nil {
+		r.sink.Emit(&Record{Kind: KindStage, VT: vt, Stage: s})
+	}
+}
+
+// now is the recorder's wall clock, swappable in tests.
+var spanNow = func() int64 { return time.Now().UnixNano() }
+
+// get returns the open span for event, lazily opening one for events
+// the recorder never saw submitted (repair events minted by fault
+// recovery, events re-admitted by WAL replay). Lazy spans have no
+// submit/ingest/admit stamps and contribute only to the stages they
+// were seen in.
+func (r *SpanRecorder) get(event int64) *openSpan {
+	sp := r.open[event]
+	if sp == nil {
+		sp = &openSpan{}
+		r.open[event] = sp
+	}
+	return sp
+}
+
+// Opened starts an event's span at ingest: sc is the wire context (zero
+// value when the submitter sent none) and ingestWall the server wall
+// clock at request decode. Emits the submit stage (when the wire
+// carried a stamp) and the ingest stage.
+func (r *SpanRecorder) Opened(event int64, sc SpanContext, ingestWall, vt int64) {
+	sp := &openSpan{origin: sc.Origin, submitWall: sc.SubmitWallNs, ingestWall: ingestWall, lastWall: ingestWall}
+	r.open[event] = sp
+	tid := TraceID(event, sc.Origin)
+	var since int64
+	if sc.SubmitWallNs > 0 {
+		r.emit(vt, &StageRecord{TraceID: tid, Event: event, Origin: sc.Origin, Stage: StageSubmit, WallNs: sc.SubmitWallNs})
+		if d := ingestWall - sc.SubmitWallNs; d >= 0 {
+			since = d
+			if r.met != nil {
+				r.met.Ingest.Observe(d)
+			}
+		}
+	}
+	r.emit(vt, &StageRecord{TraceID: tid, Event: event, Origin: sp.origin, Stage: StageIngest, WallNs: ingestWall, SinceNs: since})
+}
+
+// Admitted records the event entering the update queue.
+func (r *SpanRecorder) Admitted(event, wall, vt int64) {
+	sp := r.get(event)
+	sp.admitWall = wall
+	var since int64
+	if sp.ingestWall > 0 {
+		since = wall - sp.ingestWall
+		if r.met != nil && since >= 0 {
+			r.met.Admit.Observe(since)
+		}
+	}
+	sp.lastWall = wall
+	r.emit(vt, &StageRecord{TraceID: TraceID(event, sp.origin), Event: event, Origin: sp.origin,
+		Stage: StageAdmit, WallNs: wall, SinceNs: since})
+}
+
+// WALCommitted records the event's log record becoming durable.
+func (r *SpanRecorder) WALCommitted(event, wall, vt int64) {
+	sp := r.get(event)
+	var since int64
+	if sp.admitWall > 0 {
+		since = wall - sp.admitWall
+		if r.met != nil && since >= 0 {
+			r.met.WALCommit.Observe(since)
+		}
+	}
+	sp.lastWall = wall
+	r.emit(vt, &StageRecord{TraceID: TraceID(event, sp.origin), Event: event, Origin: sp.origin,
+		Stage: StageWALCommit, WallNs: wall, SinceNs: since})
+}
+
+// Probed records a scheduling round cost-probing the event. Skipped
+// entirely without a sink — probes feed no histogram.
+func (r *SpanRecorder) Probed(event, round, vt int64) {
+	sp := r.open[event]
+	if sp != nil {
+		sp.probes++
+	}
+	if r.sink == nil {
+		return
+	}
+	var origin uint16
+	if sp != nil {
+		origin = sp.origin
+	}
+	r.emit(vt, &StageRecord{TraceID: TraceID(event, origin), Event: event, Origin: origin,
+		Stage: StageProbed, Round: round, WallNs: spanNow()})
+}
+
+// ExecStart records the event starting execution as a round lane.
+func (r *SpanRecorder) ExecStart(event, round, vt int64) {
+	sp := r.get(event)
+	wall := spanNow()
+	sp.execWall = wall
+	var since int64
+	if sp.lastWall > 0 {
+		since = wall - sp.lastWall
+	}
+	sp.lastWall = wall
+	r.emit(vt, &StageRecord{TraceID: TraceID(event, sp.origin), Event: event, Origin: sp.origin,
+		Stage: StageExec, Round: round, WallNs: wall, SinceNs: since})
+	if r.met != nil && sp.admitWall > 0 {
+		if d := wall - sp.admitWall; d >= 0 {
+			r.met.Queue.Observe(d)
+		}
+	}
+}
+
+// Completed closes the event's span, emitting the completion stage with
+// the end-to-end waterfall summary and feeding the e2e/rounds
+// histograms.
+func (r *SpanRecorder) Completed(event, round, vt int64, flows, failed, retries int, rolledBack bool) {
+	sp := r.get(event)
+	wall := spanNow()
+	st := &StageRecord{
+		TraceID: TraceID(event, sp.origin), Event: event, Origin: sp.origin,
+		Stage: StageComplete, Round: round, WallNs: wall,
+		Probes: sp.probes, Flows: flows, Failed: failed, Retries: retries, RolledBack: rolledBack,
+	}
+	if sp.lastWall > 0 {
+		st.SinceNs = wall - sp.lastWall
+	}
+	if sp.execWall > 0 {
+		st.RoundsNs = wall - sp.execWall
+		if r.met != nil && st.RoundsNs >= 0 {
+			r.met.Rounds.Observe(st.RoundsNs)
+		}
+	}
+	if sp.admitWall > 0 {
+		if sp.execWall > 0 {
+			st.QueueNs = sp.execWall - sp.admitWall
+		}
+	}
+	// End-to-end from the earliest stamp the span has: client submit
+	// when the wire carried one, server ingest otherwise.
+	start := sp.submitWall
+	if start == 0 {
+		start = sp.ingestWall
+	}
+	if start > 0 {
+		st.E2ENs = wall - start
+		if r.met != nil && st.E2ENs >= 0 {
+			r.met.E2E.Observe(st.E2ENs)
+		}
+	}
+	r.emit(vt, st)
+	delete(r.open, event)
+}
+
+// OpenSpans returns the number of spans opened but not yet completed.
+func (r *SpanRecorder) OpenSpans() int { return len(r.open) }
+
+// Flush flushes the span sink, if any.
+func (r *SpanRecorder) Flush() error {
+	if r.sink != nil {
+		return r.sink.Flush()
+	}
+	return nil
+}

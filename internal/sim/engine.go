@@ -52,7 +52,11 @@ type Engine struct {
 
 	// obs is the optional observability tracer (nil = disabled; every
 	// instrumentation hook below reduces to one nil check).
-	obs    *obs.Tracer
+	obs *obs.Tracer
+	// spans is the optional stage-level latency recorder (nil = disabled).
+	// Unlike obs it records wall clocks too, so its records ride the span
+	// channel only — never a deterministic trace sink.
+	spans  *obs.SpanRecorder
 	rounds int64
 	// curRound accumulates the round record being built (obs enabled
 	// only); runLane appends its claim and span to it.
@@ -90,6 +94,11 @@ func (e *Engine) SetTracer(t *obs.Tracer) {
 
 // Tracer returns the attached tracer, or nil.
 func (e *Engine) Tracer() *obs.Tracer { return e.obs }
+
+// SetSpans attaches a stage-level latency recorder (nil detaches). The
+// ctl server attaches it after WAL replay, so replayed rounds emit no
+// span records and recovery stays byte-deterministic.
+func (e *Engine) SetSpans(sr *obs.SpanRecorder) { e.spans = sr }
 
 // probeEngine returns the scheduler's probe engine, or nil for schedulers
 // (FIFO, Reorder) that probe the live network directly.
@@ -344,6 +353,12 @@ func (e *Engine) runRound() error {
 	}
 	roundEnd := roundStart
 
+	if e.spans != nil {
+		for _, p := range decision.Probes {
+			e.spans.Probed(int64(p.Event.ID), e.rounds, int64(roundStart))
+		}
+	}
+
 	end, err := e.runLane(decision.Head, roundStart)
 	if err != nil {
 		return err
@@ -373,6 +388,9 @@ func (e *Engine) runRound() error {
 		}
 		e.collector.DecisionEvals += est.Evals
 		e.collector.PlanTime += e.cfg.planTime(est.Evals)
+		if e.spans != nil {
+			e.spans.Probed(int64(cand.Event.ID), e.rounds, int64(roundStart))
+		}
 		committed := est.Admittable >= cand.AloneAdmittable
 		if rr := e.curRound; rr != nil {
 			rr.CoScheduled = append(rr.CoScheduled, obs.CoSchedule{
@@ -460,6 +478,9 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 	if !e.queue.Remove(ev) {
 		return 0, fmt.Errorf("sim: %v scheduled but not queued", ev)
 	}
+	if e.spans != nil {
+		e.spans.ExecStart(int64(ev.ID), e.rounds, int64(laneStart))
+	}
 	res, err := e.planner.Execute(ev)
 	if err != nil {
 		return 0, fmt.Errorf("sim: executing %v: %w", ev, err)
@@ -529,6 +550,9 @@ func (e *Engine) runLane(ev *core.Event, laneStart time.Duration) (time.Duration
 	ev.Started = true
 	ev.Completion = completion
 	ev.Done = true
+	if e.spans != nil {
+		e.spans.Completed(int64(ev.ID), e.rounds, int64(completion), flows, failed, retries, rolledBack)
+	}
 	e.collector.Add(metrics.EventRecord{
 		Event:      ev.ID,
 		Kind:       ev.Kind,

@@ -30,11 +30,12 @@ import (
 //
 // Event body:
 //
-//	u8   flags (bit 0: retry)
+//	u8   flags (bit 0: retry; bit 1: span context suffix present)
 //	u32  batch size (0 unless first record of an accepted request)
 //	u64  event ID
 //	u8   kind length, then kind bytes
 //	u16  flow count, then per flow: u32 src, u32 dst, u64 demand, u64 size
+//	[u16 origin, u64 submit wall ns]  — only when flag bit 1 is set
 
 const (
 	frameHeaderSize = 8
@@ -46,6 +47,14 @@ const (
 	maxFramePayload = 1 << 24
 
 	eventFlagRetry = 1 << 0
+	// eventFlagSpan gates a 10-byte span-context suffix (u16 origin +
+	// u64 submit wall ns) after the flow array. Records without wire
+	// span context omit both flag and suffix, so logs written by span-
+	// unaware peers and spanless runs stay byte-identical to the old
+	// format.
+	eventFlagSpan = 1 << 1
+
+	spanSuffixSize = 10
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -77,6 +86,9 @@ func AppendFrame(dst []byte, rec *Record) ([]byte, error) {
 		if ev.Retry {
 			flags |= eventFlagRetry
 		}
+		if ev.Origin != 0 || ev.SubmitWallNs != 0 {
+			flags |= eventFlagSpan
+		}
 		dst = append(dst, flags)
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(ev.BatchSize))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.EventID))
@@ -88,6 +100,10 @@ func AppendFrame(dst []byte, rec *Record) ([]byte, error) {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Dst))
 			dst = binary.LittleEndian.AppendUint64(dst, uint64(f.DemandBps))
 			dst = binary.LittleEndian.AppendUint64(dst, uint64(f.SizeBytes))
+		}
+		if flags&eventFlagSpan != 0 {
+			dst = binary.LittleEndian.AppendUint16(dst, ev.Origin)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.SubmitWallNs))
 		}
 	case TypeMeta:
 		if rec.Meta == nil {
@@ -177,7 +193,11 @@ func decodeEventBody(body []byte) (*EventRecord, error) {
 	ev.Kind = string(body[:kindLen])
 	flowCount := int(binary.LittleEndian.Uint16(body[kindLen:]))
 	body = body[kindLen+2:]
-	if len(body) != flowCount*24 {
+	want := flowCount * 24
+	if flags&eventFlagSpan != 0 {
+		want += spanSuffixSize
+	}
+	if len(body) != want {
 		return nil, fmt.Errorf("%w: event body has %d bytes for %d flows", ErrCorrupt, len(body), flowCount)
 	}
 	ev.Flows = make([]FlowSpec, flowCount)
@@ -189,6 +209,11 @@ func decodeEventBody(body []byte) (*EventRecord, error) {
 			DemandBps: int64(binary.LittleEndian.Uint64(body[off+8:])),
 			SizeBytes: int64(binary.LittleEndian.Uint64(body[off+16:])),
 		}
+	}
+	if flags&eventFlagSpan != 0 {
+		off := flowCount * 24
+		ev.Origin = binary.LittleEndian.Uint16(body[off:])
+		ev.SubmitWallNs = int64(binary.LittleEndian.Uint64(body[off+2:]))
 	}
 	return ev, nil
 }

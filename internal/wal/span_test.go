@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Event records carrying a wire span context round-trip it through the
+// flag-gated suffix; records without one encode byte-identically to the
+// pre-span format.
+func TestEventSpanContextRoundTrip(t *testing.T) {
+	rec := &Record{
+		Type: TypeEvent, ID: ID{VT: 5000, Seq: 1}, Rounds: 2,
+		Event: &EventRecord{
+			EventID: 42, Kind: "submitted", BatchSize: 3,
+			Flows:        []FlowSpec{{Src: 1, Dst: 2, DemandBps: 1e6, SizeBytes: 4096}},
+			Origin:       7,
+			SubmitWallNs: 1722400000123456789,
+		},
+	}
+	buf, err := AppendFrame(nil, rec)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	got, _, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v %+v\nout: %+v %+v", rec, rec.Event, got, got.Event)
+	}
+}
+
+func TestEventWithoutSpanMatchesOldFormat(t *testing.T) {
+	ev := &EventRecord{
+		EventID: 9, Kind: "vm", Flows: []FlowSpec{{Src: 0, Dst: 3, DemandBps: 100}},
+	}
+	rec := &Record{Type: TypeEvent, ID: ID{VT: 100, Seq: 1}, Event: ev}
+	buf, err := AppendFrame(nil, rec)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	// The payload must end exactly after the flow array: header (8) +
+	// record header (25) + flags/batch/id (13) + kind (1+2) + flow count
+	// (2) + one flow (24); no span suffix, flag bit 1 clear.
+	wantLen := frameHeaderSize + recHeaderSize + 13 + 3 + 2 + 24
+	if len(buf) != wantLen {
+		t.Fatalf("spanless frame is %d bytes, want %d (format drifted)", len(buf), wantLen)
+	}
+	if flags := buf[frameHeaderSize+recHeaderSize]; flags&eventFlagSpan != 0 {
+		t.Fatalf("spanless record has span flag set")
+	}
+	got, _, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got.Event.Origin != 0 || got.Event.SubmitWallNs != 0 {
+		t.Fatalf("spanless decode fabricated context: %+v", got.Event)
+	}
+}
+
+// A truncated span suffix must be rejected as corrupt, not silently
+// absorbed into the flow array.
+func TestEventSpanSuffixTruncated(t *testing.T) {
+	rec := &Record{
+		Type: TypeEvent, ID: ID{VT: 1, Seq: 1},
+		Event: &EventRecord{EventID: 1, Kind: "x", Flows: []FlowSpec{{Src: 0, Dst: 1, DemandBps: 1}}, Origin: 1},
+	}
+	buf, err := AppendFrame(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := buf[frameHeaderSize : len(buf)-4] // drop 4 suffix bytes
+	if _, err := DecodePayload(payload); err == nil {
+		t.Fatal("truncated span suffix decoded without error")
+	}
+}

@@ -167,6 +167,12 @@ type EventRecord struct {
 	BatchSize int `json:"batch_size,omitempty"`
 	// Flows are the event's flows in submission order.
 	Flows []FlowSpec `json:"flows"`
+	// Origin and SubmitWallNs carry the wire span context of the
+	// admitting request (both zero when the submitter sent none). They
+	// are observability-only: replay never folds them into engine state,
+	// and the wall stamp is explicitly non-deterministic.
+	Origin       uint16 `json:"origin,omitempty"`
+	SubmitWallNs int64  `json:"submit_wall_ns,omitempty"`
 }
 
 // FaultRecord is the payload of one applied fault injection, plus the

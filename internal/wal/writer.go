@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"time"
 )
 
 // Writer appends records to one segment file. It is not safe for
@@ -27,6 +28,11 @@ type Writer struct {
 	bytes   int64
 	commits int64
 	syncs   int64
+
+	// syncObserver, when set, receives the wall-clock duration of each
+	// fsync in nanoseconds (one call per sync: per group commit under
+	// SyncGroup, per append under SyncAlways).
+	syncObserver func(ns int64)
 }
 
 func newWriter(f *os.File, policy SyncPolicy, lastSeq int64) *Writer {
@@ -41,6 +47,14 @@ func newWriter(f *os.File, policy SyncPolicy, lastSeq int64) *Writer {
 // LastSeq returns the sequence number of the last appended record (or
 // the segment base if nothing has been appended yet).
 func (w *Writer) LastSeq() int64 { return w.lastSeq }
+
+// Policy returns the writer's sync policy.
+func (w *Writer) Policy() SyncPolicy { return w.policy }
+
+// SetSyncObserver registers fn to receive each fsync's wall-clock
+// duration in nanoseconds (nil disables). Called from the writer's
+// owning goroutine, synchronously inside Commit.
+func (w *Writer) SetSyncObserver(fn func(ns int64)) { w.syncObserver = fn }
 
 // Stats returns lifetime counters for this writer: records appended,
 // payload+frame bytes written, commits, and fsyncs issued.
@@ -86,7 +100,13 @@ func (w *Writer) Commit() error {
 		return err
 	}
 	if w.policy != SyncOff {
-		if err := w.f.Sync(); err != nil {
+		if w.syncObserver != nil {
+			t0 := time.Now()
+			if err := w.f.Sync(); err != nil {
+				return err
+			}
+			w.syncObserver(int64(time.Since(t0)))
+		} else if err := w.f.Sync(); err != nil {
 			return err
 		}
 		w.syncs++

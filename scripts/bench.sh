@@ -4,12 +4,73 @@
 # across commits.
 #
 #   BENCH='BenchmarkDecision' BENCHTIME=5s scripts/bench.sh
+#
+# `scripts/bench.sh latency_profile` runs only the end-to-end latency
+# profile (span-instrumented loadgen + trace report check) and merges
+# the result into today's BENCH_<date>.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-BenchmarkDecision|BenchmarkProbeEvent|BenchmarkNetworkFork|BenchmarkAdmitFlow|BenchmarkTraceOverhead}"
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="BENCH_$(date +%Y%m%d).json"
+
+# End-to-end latency profile: a span-instrumented selfhost loadgen run.
+# Sets $latency_profile to a JSON object with the wall-clock stage
+# percentiles (or null). Also sanity-checks the span file by rendering
+# it with `updatectl trace report` (LAT_RATE=0 skips the whole block).
+LAT_RATE="${LAT_RATE:-800}"
+LAT_DURATION="${LAT_DURATION:-3s}"
+latency_profile=null
+run_latency_profile() {
+  [ "$LAT_RATE" = 0 ] && return 0
+  local span_file lat_json
+  span_file=$(mktemp)
+  lat_json=$(go run ./cmd/loadgen -selfhost -rate "$LAT_RATE" -duration "$LAT_DURATION" \
+    -batch 16 -conns 4 -retries 3 -spans "$span_file" -json 2>/dev/null) || lat_json=null
+  if [ "$lat_json" != null ]; then
+    # The report rendering from the same spans must succeed: exit 0
+    # proves the span file is complete and well-formed.
+    go run ./cmd/updatectl trace report "$span_file" -top 3 >/dev/null
+    latency_profile=$(LAT_JSON="$lat_json" python3 - <<'PY'
+import json, os
+doc = json.loads(os.environ["LAT_JSON"])
+lat = doc.get("latency") or {}
+out = {k: lat.get(k, 0) for k in (
+    "e2e_p50_ms", "e2e_p95_ms", "e2e_p99_ms", "e2e_p999_ms",
+    "queue_p50_ms", "queue_p99_ms", "rounds_p50_ms", "rounds_p99_ms",
+    "spans_dropped")}
+out["accepted_per_sec"] = round(doc.get("accepted_per_sec", 0), 1)
+print(json.dumps(out))
+PY
+    ) || latency_profile=null
+  fi
+  rm -f "$span_file"
+}
+
+if [ "${1:-}" = "latency_profile" ]; then
+  run_latency_profile
+  if [ "$latency_profile" = null ]; then
+    echo "bench.sh: latency profile run failed" >&2
+    exit 1
+  fi
+  OUT="$OUT" PROFILE="$latency_profile" python3 - <<'PY'
+import json, os
+path, profile = os.environ["OUT"], json.loads(os.environ["PROFILE"])
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {}
+doc["latency_profile"] = profile
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"merged latency_profile into {path}")
+PY
+  printf '%s\n' "$latency_profile"
+  exit 0
+fi
 
 raw=$(go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" .)
 printf '%s\n' "$raw"
@@ -56,6 +117,8 @@ if [ "$WAL_RATE" != 0 ] && [ "$SOAK_RATE" != 0 ]; then
     -batch 8 -conns 2 -wal-dir "$wal_dir" -wal-sync group -json 2>/dev/null) || wal_restart=null
   rm -rf "$wal_dir"
 fi
+run_latency_profile
+
 wal_summary=null
 if [ "$wal_soak" != null ]; then
   wal_summary=$(BASE_JSON="$soak" WAL_JSON="$wal_soak" RESTART_JSON="$wal_restart" python3 - <<'PY'
@@ -123,6 +186,7 @@ fi
   printf '  ,"v2":\n'
   printf '%s\n' "$codec_v2" | sed 's/^/  /'
   printf '  }\n'
+  printf '  ,"latency_profile": %s\n' "$latency_profile"
   printf '  ,"wal_recovery": {\n'
   printf '  "summary": %s\n' "$wal_summary"
   printf '  ,"soak":\n'

@@ -91,3 +91,45 @@ if failed:
     sys.exit(1)
 print("bench_guard: all benchmarks within tolerance")
 PY
+
+# End-to-end latency gate: compares a fresh span-instrumented loadgen
+# run's e2e p99 against the baseline's latency_profile block. Wall-clock
+# latency is far noisier than calibrated ns/op ratios, so the tolerance
+# is wider (default 2.0x) and the gate only arms when the pinned
+# baseline actually carries a profile (LAT_RATE=0 disables it).
+LAT_RATE="${LAT_RATE:-800}"
+LAT_DURATION="${LAT_DURATION:-3s}"
+LAT_TOLERANCE="${LAT_TOLERANCE:-2.0}"
+base_p99=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+prof = doc.get("latency_profile") or {}
+print(prof.get("e2e_p99_ms", ""))' "$BASELINE")
+if [ -z "$base_p99" ] || [ "$LAT_RATE" = 0 ]; then
+  echo "bench_guard: baseline has no latency_profile block; e2e p99 gate skipped"
+  exit 0
+fi
+span_file=$(mktemp)
+lat_json=$(go run ./cmd/loadgen -selfhost -rate "$LAT_RATE" -duration "$LAT_DURATION" \
+  -batch 16 -conns 4 -retries 3 -spans "$span_file" -json 2>/dev/null) || lat_json=null
+rm -f "$span_file"
+if [ "$lat_json" = null ]; then
+  echo "bench_guard: latency profile run failed; e2e p99 gate skipped" >&2
+  exit 0
+fi
+LAT_JSON="$lat_json" python3 - "$base_p99" "$LAT_TOLERANCE" <<'PY'
+import json, os, sys
+
+base_p99, tolerance = float(sys.argv[1]), float(sys.argv[2])
+lat = (json.loads(os.environ["LAT_JSON"]).get("latency") or {})
+cur_p99 = float(lat.get("e2e_p99_ms", 0))
+if cur_p99 <= 0 or base_p99 <= 0:
+    print("bench_guard: e2e p99 unavailable; gate skipped")
+    sys.exit(0)
+rel = cur_p99 / base_p99
+verdict = "FAIL" if rel > tolerance else "ok"
+print(f"bench_guard: e2e p99 {cur_p99:.3f}ms vs baseline {base_p99:.3f}ms: {rel:.2f}x ({verdict})")
+if rel > tolerance:
+    print(f"bench_guard: LATENCY REGRESSION beyond {tolerance}x", file=sys.stderr)
+    sys.exit(1)
+PY
