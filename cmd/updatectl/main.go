@@ -13,6 +13,8 @@
 //	updatectl -addr host:7421 trace [n] > trace.jsonl
 //	updatectl -addr host:7421 fault link-down -link 12
 //	updatectl -addr host:7421 fault install-timeout -times 2
+//	updatectl -addr host:7421 repl status
+//	updatectl -addr follower:7421 repl promote
 //	updatectl -addr host:7421 -codec v2 stats          # binary v2 framing
 //	updatectl wal info /var/lib/updated/wal            # offline WAL inspection
 //	updatectl wal verify /var/lib/updated/wal
@@ -32,6 +34,12 @@
 // take -link, switch-down/switch-up take -node, install-timeout takes
 // -event (0 = next executed) and -times. The response reports what was
 // disrupted and any repair event minted to re-admit the affected flows.
+//
+// repl status prints the server's replication role, term, log position
+// and either its registered followers (leader) or its leader address
+// and fold lag (follower). repl promote asks a warm follower to take
+// over as leader: it drains its folded backlog, fences the old leader
+// with a bumped term and starts accepting writes.
 package main
 
 import (
@@ -65,7 +73,7 @@ func run(args []string, stdout io.Writer) int {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace|fault|wal")
+		fmt.Fprintln(os.Stderr, "updatectl: need a command: ping|stats|submit|status|results|snapshot|trace|fault|repl|wal")
 		return 2
 	}
 	if rest[0] == "wal" {
@@ -276,9 +284,55 @@ func run(args []string, stdout io.Writer) int {
 		}
 		return 0
 
+	case "repl":
+		if len(rest) < 2 {
+			fmt.Fprintln(os.Stderr, "updatectl: repl needs a subcommand: status|promote")
+			return 2
+		}
+		var info ctl.ReplInfo
+		switch rest[1] {
+		case "status":
+			info, err = client.ReplStatus()
+		case "promote":
+			info, err = client.Promote()
+		default:
+			fmt.Fprintf(os.Stderr, "updatectl: unknown repl subcommand %q (want status or promote)\n", rest[1])
+			return 2
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updatectl: %v\n", err)
+			return 1
+		}
+		printRepl(stdout, info)
+		return 0
+
 	default:
 		fmt.Fprintf(os.Stderr, "updatectl: unknown command %q\n", rest[0])
 		return 2
+	}
+}
+
+// printRepl renders a repl status/promote response: common role line,
+// then the follower's session view or the leader's follower table.
+func printRepl(w io.Writer, info ctl.ReplInfo) {
+	fmt.Fprintf(w, "role        %s (term %d)\n", info.Role, info.Term)
+	fmt.Fprintf(w, "last seq    %d\n", info.LastSeq)
+	if info.LeaderAddr != "" {
+		fmt.Fprintf(w, "leader      %s (lag %d records)\n", info.LeaderAddr, info.LagRecords)
+	}
+	if info.LastError != "" {
+		fmt.Fprintf(w, "last error  %s\n", info.LastError)
+	}
+	for _, f := range info.Followers {
+		state := "catching up"
+		if f.Synced {
+			state = "synced"
+		}
+		fmt.Fprintf(w, "follower    %s: acked seq %d, lag %d (%s)\n",
+			f.Addr, f.AckedSeq, f.LagRecords, state)
+	}
+	if info.FailoverMs > 0 {
+		fmt.Fprintf(w, "failover    promoted in %d ms\n", info.FailoverMs)
 	}
 }
 

@@ -84,10 +84,12 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 }
 
 // startDaemonProc launches the built daemon with a WAL directory and
-// returns a connected client plus the captured startup lines.
-func startDaemonProc(t *testing.T, bin, walDir string) (*exec.Cmd, *ctl.Client, []string) {
+// returns a connected client plus the captured startup lines. Extra
+// flags (e.g. -follow for a warm follower) are appended to the shared
+// world flags, which every replica of one deterministic world must use.
+func startDaemonProc(t *testing.T, bin, walDir string, extra ...string) (*exec.Cmd, *ctl.Client, []string) {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-k", "4",
 		"-util", "0.3",
@@ -97,7 +99,8 @@ func startDaemonProc(t *testing.T, bin, walDir string) (*exec.Cmd, *ctl.Client, 
 		"-wal-dir", walDir,
 		"-wal-sync", "group",
 		"-wal-checkpoint-every", "8",
-	)
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -314,6 +317,13 @@ func normalizedStats(t *testing.T, client *ctl.Client) ctl.Stats {
 	st.LatencyRoundsP50Ns, st.LatencyRoundsP99Ns = 0, 0
 	st.SpansDropped = 0
 	st.WALFsyncP50Ns, st.WALFsyncP99Ns, st.WALFsyncCount = 0, 0, 0
+	// Replication state is process history, not folded state: a promoted
+	// follower reports a later term and apply counters the reference
+	// leader never accrues.
+	st.ReplRole, st.ReplTerm = "", 0
+	st.ReplFollowers, st.ReplSynced, st.ReplLagRecords = 0, 0, 0
+	st.ReplRecordsSent, st.ReplRecordsApplied, st.ReplFollowerDrops = 0, 0, 0
+	st.ReplFailoverMs = 0
 	return st
 }
 
@@ -342,6 +352,9 @@ func scrapeMetrics(t *testing.T, url string) map[string]string {
 			strings.HasPrefix(line, "netupdate_probe_"),
 			strings.HasPrefix(line, "netupdate_ingest_codec"),
 			strings.HasPrefix(line, "netupdate_ingest_frames"),
+			// Replication role/term/stream counters are process history
+			// (see normalizedStats).
+			strings.HasPrefix(line, "netupdate_repl_"),
 			// Wall-clock latency histograms: process-local, like the
 			// fsync timings above.
 			strings.HasPrefix(line, "netupdate_latency_"):

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netupdate/internal/topology"
+)
+
+// TestFailoverSIGKILL is the out-of-process failover chaos test: a real
+// leader daemon streams its WAL to a real warm-follower daemon, the
+// leader is SIGKILLed right after acknowledging a batch it has not yet
+// finished executing, the follower's watchdog promotes itself, and the
+// promoted daemon must (a) complete every acknowledged event — zero
+// acked-event loss — and (b) finish the workload converging with a
+// never-crashed reference daemon across stats, results, snapshot,
+// /metrics and trace.
+func TestFailoverSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real binaries; skipped in -short")
+	}
+	bin := buildDaemon(t)
+
+	work := failoverWorkload(t)
+	// work[killAfter] is submitted and acked but NOT waited before the
+	// kill; crashWorkload schedules no fault on that chunk, so the kill
+	// lands mid-execution of plain update events.
+	const killAfter = 3
+
+	// Reference daemon: same flags, own WAL, never crashed.
+	refProc, refClient, _ := startDaemonProc(t, bin, filepath.Join(t.TempDir(), "wal-ref"))
+	defer stopDaemonProc(t, refProc)
+	for _, ch := range work {
+		playCrashChunk(t, refClient, ch)
+	}
+
+	// Leader and its warm follower.
+	leaderProc, leaderClient, leaderStartup := startDaemonProc(t, bin, filepath.Join(t.TempDir(), "wal-leader"))
+	leaderAddr := daemonCtlAddr(t, leaderStartup)
+	followerProc, followerClient, followerStartup := startDaemonProc(t, bin,
+		filepath.Join(t.TempDir(), "wal-follower"),
+		"-follow", leaderAddr, "-promote-after", "2s")
+	defer stopDaemonProc(t, followerProc)
+	wantLine := "updated: following " + leaderAddr
+	if !containsPrefix(followerStartup, wantLine) {
+		t.Fatalf("follower never reported %q; startup:\n%s", wantLine, strings.Join(followerStartup, "\n"))
+	}
+
+	// The follower must be synced before load starts: from then on the
+	// leader's group commit gates on follower durability, so every ack
+	// below implies the record is already folded on the follower.
+	waitDaemon(t, 15*time.Second, "follower synced on leader", func() bool {
+		info, err := leaderClient.ReplStatus()
+		return err == nil && len(info.Followers) == 1 && info.Followers[0].Synced
+	})
+
+	for _, ch := range work[:killAfter] {
+		playCrashChunk(t, leaderClient, ch)
+	}
+
+	// Ack a batch, then SIGKILL the leader before waiting on any of it.
+	acked, err := leaderClient.SubmitBatchRetry(work[killAfter].specs, 5)
+	if err != nil {
+		t.Fatalf("SubmitBatchRetry: %v", err)
+	}
+	if err := leaderProc.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL leader: %v", err)
+	}
+	_ = leaderProc.Wait()
+	_ = leaderClient.Close()
+
+	// The leader-loss watchdog promotes after 2s of silence.
+	waitDaemon(t, 30*time.Second, "follower auto-promoted", func() bool {
+		info, err := followerClient.ReplStatus()
+		return err == nil && info.Role == "leader"
+	})
+	info, err := followerClient.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Term < 2 {
+		t.Fatalf("promotion did not bump the term: %+v", info)
+	}
+
+	// Zero acked-event loss: every acknowledged submission completes on
+	// the promoted daemon.
+	for _, id := range acked {
+		if _, err := followerClient.WaitDone(id, 30*time.Second); err != nil {
+			t.Fatalf("acked event %d lost across failover: %v", id, err)
+		}
+	}
+
+	// Finish the workload against the new leader and require convergence
+	// with the never-crashed reference.
+	for _, ch := range work[killAfter+1:] {
+		playCrashChunk(t, followerClient, ch)
+	}
+	compareDaemons(t, refClient, followerClient)
+}
+
+// buildDaemon compiles the updated binary into a scratch dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "updated")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// failoverWorkload is the crash workload on the k=4 world every daemon
+// in this file runs (startDaemonProc's shared flags), under a seed
+// distinct from the crash-recovery test's.
+func failoverWorkload(t *testing.T) []crashChunk {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, topology.Gbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crashWorkload(ft, 23, 6, 3)
+}
+
+// daemonCtlAddr extracts the bound control address from startup lines.
+func daemonCtlAddr(t *testing.T, startup []string) string {
+	t.Helper()
+	for _, line := range startup {
+		if s, ok := strings.CutPrefix(line, "updated: listening on "); ok {
+			return s
+		}
+	}
+	t.Fatalf("no listen line in startup:\n%s", strings.Join(startup, "\n"))
+	return ""
+}
+
+func containsPrefix(lines []string, prefix string) bool {
+	for _, line := range lines {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitDaemon polls cond until it holds or the deadline passes.
+func waitDaemon(t *testing.T, timeout time.Duration, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", desc)
+}

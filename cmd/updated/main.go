@@ -9,6 +9,17 @@
 //	        [-alpha 4] [-seed 1] [-telemetry-addr :9090]
 //	        [-wal-dir /var/lib/updated/wal] [-wal-sync group]
 //	        [-span-out /var/log/updated/spans.jsonl]
+//	        [-follow leader:7421] [-promote-after 2s]
+//
+// With -follow set (requires -wal-dir), the daemon boots as a warm
+// follower: it replicates the leader's WAL over the ctl port, folds
+// every committed record into the same deterministic state, and
+// rejects writes with a not-leader hint until promoted. Promotion is
+// manual (`updatectl repl promote`) or automatic once the leader has
+// been unreachable for -promote-after. The follower must be started
+// with the same world flags as the leader (scheduler, seed, k, util,
+// watermark, tables); the leader refuses mismatched followers at
+// handshake. See DESIGN.md §15.
 //
 // With -span-out set, every event's stage-level latency span (submit,
 // ingest, admit, wal_commit, probed rounds, exec, complete) is written
@@ -79,8 +90,15 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		walSync   = fs.String("wal-sync", "group", "WAL durability policy: always (fsync per record), group (fsync per commit batch), off (no fsync)")
 		walCkpt   = fs.Int("wal-checkpoint-every", ctl.DefaultCheckpointEvery, "records between automatic WAL checkpoints (<0 = never)")
 		spanOut   = fs.String("span-out", "", "write per-event stage latency spans to this JSONL file (empty = off); analyze with updatectl trace report")
+		follow    = fs.String("follow", "", "run as a warm follower replicating from this leader ctl address (requires -wal-dir)")
+		promote   = fs.Duration("promote-after", 0, "auto-promote after the leader has been unreachable this long (0 = manual promotion only; follower mode)")
+		maxFoll   = fs.Int("max-followers", 0, "cap on attached replication followers (0 = library default; leader mode)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *follow != "" && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "updated: -follow requires -wal-dir (the follower persists the replicated log)")
 		return 2
 	}
 
@@ -105,6 +123,39 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		walLog, err = wal.Open(*walDir, wal.WithSync(policy))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "updated: wal: %v\n", err)
+			return 1
+		}
+	}
+	var meta *wal.Meta
+	if walLog != nil {
+		meta = &wal.Meta{
+			Format:    wal.FormatVersion,
+			Scheduler: scheduler.Name(),
+			Seed:      *seed,
+			K:         *k,
+			Util:      *util,
+			Watermark: *watermark,
+			Tables:    *tables,
+		}
+	}
+
+	// A follower handshakes before the world is built: if the leader
+	// ships a bootstrap checkpoint it is installed into the empty log
+	// now, so the `restoring` decision below sees it exactly as it
+	// would a locally written checkpoint.
+	var followCfg ctl.FollowerConfig
+	var followSess *ctl.FollowerSession
+	if *follow != "" {
+		followCfg = ctl.FollowerConfig{
+			Log:             walLog,
+			Meta:            meta,
+			LeaderAddr:      *follow,
+			CheckpointEvery: *walCkpt,
+			PromoteAfter:    *promote,
+		}
+		followSess, err = ctl.FollowerBootstrap(followCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: follow %s: %v\n", *follow, err)
 			return 1
 		}
 	}
@@ -158,15 +209,27 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintf(stdout, "updated: stage spans to %s\n", *spanOut)
 	}
 	var srv *ctl.Server
-	if walLog != nil {
-		meta := &wal.Meta{
-			Format:    wal.FormatVersion,
-			Scheduler: scheduler.Name(),
-			Seed:      *seed,
-			K:         *k,
-			Util:      *util,
-			Watermark: *watermark,
-			Tables:    *tables,
+	switch {
+	case followSess != nil:
+		var rec *ctl.RecoveryInfo
+		srv, rec, err = ctl.NewFollower(planner, scheduler, sim.Config{}, followCfg, followSess, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "updated: follower recovery: %v\n", err)
+			return 1
+		}
+		if rec.Recovered {
+			fmt.Fprintf(stdout, "updated: recovered from WAL: checkpoint seq %d, %d records replayed, last seq %d (%v)\n",
+				rec.CheckpointSeq, rec.ReplayedRecords, rec.LastSeq, rec.Elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintf(stdout, "updated: wal in %s (sync=%s)\n", *walDir, *walSync)
+		if *promote > 0 {
+			fmt.Fprintf(stdout, "updated: following %s (auto-promote after %v)\n", *follow, *promote)
+		} else {
+			fmt.Fprintf(stdout, "updated: following %s (manual promotion only)\n", *follow)
+		}
+	case walLog != nil:
+		if *maxFoll > 0 {
+			opts = append(opts, ctl.WithReplication(ctl.ReplicationConfig{MaxFollowers: *maxFoll}))
 		}
 		var rec *ctl.RecoveryInfo
 		srv, rec, err = ctl.NewServerWithWAL(planner, scheduler, sim.Config{},
@@ -181,7 +244,7 @@ func run(args []string, stdout io.Writer, stop <-chan os.Signal) int {
 				rec.CheckpointSeq, rec.ReplayedRecords, rec.LastSeq, rec.Elapsed.Round(time.Millisecond))
 		}
 		fmt.Fprintf(stdout, "updated: wal in %s (sync=%s)\n", *walDir, *walSync)
-	} else {
+	default:
 		srv = ctl.NewServer(planner, scheduler, sim.Config{}, opts...)
 	}
 

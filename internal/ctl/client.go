@@ -175,6 +175,11 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 				RetryAfter: ov.RetryAfter(),
 			}
 		}
+		// A role rejection is typed too: errors.Is(err, ErrNotLeader)
+		// with the leader's address as a redirect hint.
+		if nl := resp.NotLeader; nl != nil {
+			return resp, &NotLeaderError{Role: nl.Role, Term: nl.Term, LeaderAddr: nl.LeaderAddr}
+		}
 		return resp, fmt.Errorf("ctl: %s: %s", req.Op, resp.Error)
 	}
 	return resp, nil
@@ -343,6 +348,35 @@ func (c *Client) Fault(spec FaultSpec) (FaultResult, error) {
 		return FaultResult{}, fmt.Errorf("ctl: fault: empty response")
 	}
 	return *resp.Fault, nil
+}
+
+// ReplStatus reports the server's replication state: role, term, log
+// position, registered followers (on a leader) or leader address and
+// lag (on a follower).
+func (c *Client) ReplStatus() (ReplInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpReplStatus})
+	if err != nil {
+		return ReplInfo{}, err
+	}
+	if resp.Repl == nil {
+		return ReplInfo{}, fmt.Errorf("ctl: repl status: empty response")
+	}
+	return *resp.Repl, nil
+}
+
+// Promote asks a follower to take over as leader: it stops streaming,
+// drains its folded backlog to quiescence, persists a bumped term and
+// starts accepting writes. Promoting a server that is already the
+// leader is a no-op; a deposed leader refuses.
+func (c *Client) Promote() (ReplInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpReplPromote})
+	if err != nil {
+		return ReplInfo{}, err
+	}
+	if resp.Repl == nil {
+		return ReplInfo{}, fmt.Errorf("ctl: promote: empty response")
+	}
+	return *resp.Repl, nil
 }
 
 // Trace fetches the most recent n scheduling-trace records (oldest

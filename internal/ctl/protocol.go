@@ -53,13 +53,20 @@ const (
 	// timeout) into the running schedule; the response reports what the
 	// injection disrupted.
 	OpFault Op = "fault"
+	// OpReplStatus reports the server's replication state: role, term,
+	// registered followers and their lag (on a follower: its own lag).
+	OpReplStatus Op = "repl-status"
+	// OpReplPromote promotes a follower: it drains its cascade to
+	// quiescence, bumps and persists the term, and flips read-write.
+	// Rejected on anything but a follower.
+	OpReplPromote Op = "repl-promote"
 )
 
 // knownOps is the set of valid protocol operations.
 var knownOps = map[Op]bool{
 	OpPing: true, OpSubmit: true, OpSubmitBatch: true, OpStatus: true,
 	OpResults: true, OpStats: true, OpSnapshot: true, OpTrace: true,
-	OpFault: true,
+	OpFault: true, OpReplStatus: true, OpReplPromote: true,
 }
 
 // FlowSpec is one flow of a submitted event. Host indices refer to the
@@ -292,6 +299,19 @@ type Stats struct {
 	WALFsyncP50Ns int64  `json:"wal_fsync_p50_ns,omitempty"`
 	WALFsyncP99Ns int64  `json:"wal_fsync_p99_ns,omitempty"`
 	WALFsyncCount int64  `json:"wal_fsync_count,omitempty"`
+	// Replication telemetry (all empty/zero when the daemon runs without
+	// a WAL): role and term, follower registration and worst acked-seq
+	// lag on a leader, records streamed/folded, and the last promotion's
+	// drain-to-serving time on a promoted follower.
+	ReplRole           string `json:"repl_role,omitempty"`
+	ReplTerm           uint64 `json:"repl_term,omitempty"`
+	ReplFollowers      int    `json:"repl_followers,omitempty"`
+	ReplSynced         int    `json:"repl_synced,omitempty"`
+	ReplLagRecords     int64  `json:"repl_lag_records,omitempty"`
+	ReplRecordsSent    int64  `json:"repl_records_sent,omitempty"`
+	ReplRecordsApplied int64  `json:"repl_records_applied,omitempty"`
+	ReplFollowerDrops  int64  `json:"repl_follower_drops,omitempty"`
+	ReplFailoverMs     int64  `json:"repl_failover_ms,omitempty"`
 }
 
 // SubmitVerdict is one event's outcome within an OpSubmitBatch
@@ -352,6 +372,60 @@ type Response struct {
 	// server speaks (e.g. FeatureSpanContext). Old servers simply omit
 	// it, which is how clients downgrade.
 	Features []string `json:"features,omitempty"`
+	// Repl answers OpReplStatus and OpReplPromote.
+	Repl *ReplInfo `json:"repl,omitempty"`
+	// NotLeader carries the typed rejection detail when a submit, fault
+	// or promote landed on a server that cannot serve writes (follower
+	// or deposed leader).
+	NotLeader *NotLeaderInfo `json:"not_leader,omitempty"`
+
+	// repl answers internal replication commands (never serialized; nil
+	// on every wire response).
+	repl *replReply
+}
+
+// ReplInfo answers OpReplStatus: the server's replication role and
+// term, plus role-specific detail — registered followers on a leader,
+// own lag and leader address on a follower, and the last promotion's
+// drain-to-serving time.
+type ReplInfo struct {
+	Role string `json:"role"`
+	Term uint64 `json:"term"`
+	// LastSeq is the server's own WAL sequence.
+	LastSeq int64 `json:"last_seq"`
+	// LeaderAddr and LagRecords describe a follower's session: the
+	// leader it streams from and how far behind its fold is.
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	LagRecords int64  `json:"lag_records,omitempty"`
+	// LastError surfaces a follower's terminal session error (stale
+	// leader, behind checkpoint) that stopped its reconnect loop.
+	LastError string `json:"last_error,omitempty"`
+	// Followers lists a leader's registered replication sessions.
+	Followers []FollowerInfo `json:"followers,omitempty"`
+	// FailoverMs is the last promotion's drain-to-serving time (0 if
+	// this server was never promoted).
+	FailoverMs int64 `json:"failover_ms,omitempty"`
+}
+
+// FollowerInfo is one registered replication session on a leader.
+type FollowerInfo struct {
+	Addr string `json:"addr"`
+	// AckedSeq is the follower's last durability acknowledgement;
+	// LagRecords the leader's log end minus it.
+	AckedSeq   int64 `json:"acked_seq"`
+	LagRecords int64 `json:"lag_records"`
+	// Synced marks a follower that caught up past its registration
+	// point and now gates group commits.
+	Synced bool `json:"synced"`
+}
+
+// NotLeaderInfo is the wire detail of a write rejected for role.
+type NotLeaderInfo struct {
+	Role string `json:"role"`
+	Term uint64 `json:"term"`
+	// LeaderAddr is the leader this follower streams from, when known —
+	// the client's redirect hint.
+	LeaderAddr string `json:"leader_addr,omitempty"`
 }
 
 // FeatureSpanContext advertises (in the ping response) that the server
@@ -394,6 +468,34 @@ func (e *OverloadError) Error() string {
 
 // Is makes errors.Is(err, ErrOverloaded) match.
 func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// ErrNotLeader marks writes (submit, fault, promote) rejected because
+// the server is a replication follower or a deposed leader. Match with
+// errors.Is; the concrete error is a *NotLeaderError carrying the role,
+// term and redirect hint.
+var ErrNotLeader = errors.New("ctl: not the leader")
+
+// NotLeaderError is the typed client-side form of a role rejection.
+type NotLeaderError struct {
+	// Role is the rejecting server's replication role ("follower" or
+	// "deposed").
+	Role string
+	Term uint64
+	// LeaderAddr is the leader the rejecting follower streams from,
+	// when known.
+	LeaderAddr string
+}
+
+// Error implements error.
+func (e *NotLeaderError) Error() string {
+	if e.LeaderAddr != "" {
+		return fmt.Sprintf("ctl: not the leader (%s, term %d); leader at %s", e.Role, e.Term, e.LeaderAddr)
+	}
+	return fmt.Sprintf("ctl: not the leader (%s, term %d)", e.Role, e.Term)
+}
+
+// Is makes errors.Is(err, ErrNotLeader) match.
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
 
 // Validate checks a submitted event.
 func (e *EventSpec) Validate(numNodes int) error {

@@ -238,6 +238,13 @@ func captureDigest(t *testing.T, srv *Server, client *Client) runDigest {
 	st.LatencyRoundsP50Ns, st.LatencyRoundsP99Ns = 0, 0
 	st.SpansDropped = 0
 	st.WALFsyncP50Ns, st.WALFsyncP99Ns, st.WALFsyncCount = 0, 0, 0
+	// Replication state is role- and topology-local: a promoted follower
+	// legitimately sits at a later term than a never-crashed leader, and
+	// stream/ack counters track process history, not admitted inputs.
+	st.ReplRole, st.ReplTerm = "", 0
+	st.ReplFollowers, st.ReplSynced, st.ReplLagRecords = 0, 0, 0
+	st.ReplRecordsSent, st.ReplRecordsApplied, st.ReplFollowerDrops = 0, 0, 0
+	st.ReplFailoverMs = 0
 
 	results, err := client.Results()
 	if err != nil {
@@ -260,6 +267,7 @@ func captureDigest(t *testing.T, srv *Server, client *Client) runDigest {
 			strings.HasPrefix(k, "netupdate_ingest_codec"),
 			strings.HasPrefix(k, "netupdate_ingest_frames"),
 			strings.HasPrefix(k, "netupdate_latency_"),
+			strings.HasPrefix(k, "netupdate_repl_"),
 			strings.HasPrefix(k, "obs_spans_dropped"):
 			// Process-local: cache warmth, per-connection codec traffic
 			// and wall-clock latency timings do not survive a crash and

@@ -1,0 +1,589 @@
+package ctl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netupdate/internal/repl"
+	"netupdate/internal/sim"
+	"netupdate/internal/topology"
+	"netupdate/internal/wal"
+)
+
+// The replication chaos suite: a leader streams its WAL to a warm
+// follower over the wire, the tests kill the leader at controlled (and,
+// in the property test, at every possible) points, promote the
+// follower, and require the promoted server to be indistinguishable
+// from one that folded the same acked prefix without any of the drama.
+
+// startReplLeader is startWALServer plus the pieces replication tests
+// need: the listen address (followers dial it) and a fast heartbeat so
+// lag/liveness machinery runs within test timescales.
+func startReplLeader(t *testing.T, dir string, ckptEvery int, wopts ...wal.Option) (*Server, *Client, string, *topology.FatTree) {
+	t.Helper()
+	log, err := wal.Open(dir, wopts...)
+	if err != nil {
+		t.Fatalf("wal.Open(%s): %v", dir, err)
+	}
+	planner, scheduler, ft := buildWALWorld(t, log.Checkpoint() == nil)
+	srv, _, err := NewServerWithWAL(planner, scheduler, sim.Config{InstallTime: time.Millisecond},
+		WALConfig{Log: log, CheckpointEvery: ckptEvery},
+		WithReplication(ReplicationConfig{HeartbeatEvery: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatalf("NewServerWithWAL: %v", err)
+	}
+	client, addr := serveAndDial(t, srv)
+	return srv, client, addr, ft
+}
+
+// startReplFollower boots a warm follower of the leader at leaderAddr,
+// journaling into its own dir. promoteAfter 0 means manual promotion
+// only.
+func startReplFollower(t *testing.T, dir, leaderAddr string, meta wal.Meta, ckptEvery int, promoteAfter time.Duration) (*Server, *Client) {
+	t.Helper()
+	log, err := wal.Open(dir)
+	if err != nil {
+		t.Fatalf("wal.Open(%s): %v", dir, err)
+	}
+	cfg := FollowerConfig{
+		Log: log, Meta: &meta, LeaderAddr: leaderAddr,
+		CheckpointEvery: ckptEvery, PromoteAfter: promoteAfter,
+		ReconnectEvery: 50 * time.Millisecond,
+	}
+	sess, err := FollowerBootstrap(cfg)
+	if err != nil {
+		t.Fatalf("FollowerBootstrap: %v", err)
+	}
+	planner, scheduler, _ := buildWALWorld(t, log.Checkpoint() == nil)
+	srv, _, err := NewFollower(planner, scheduler, sim.Config{InstallTime: time.Millisecond}, cfg, sess,
+		WithReplication(ReplicationConfig{HeartbeatEvery: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
+	client, _ := serveAndDial(t, srv)
+	return srv, client
+}
+
+// serveAndDial listens, serves and dials srv, wiring the same teardown
+// as startWALServer.
+func serveAndDial(t *testing.T, srv *Server) (*Client, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-serveErr; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := client.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			t.Errorf("client close: %v", err)
+		}
+	})
+	return client, l.Addr().String()
+}
+
+// waitFor polls until cond or the deadline; replication progress is
+// asynchronous by design, so the tests wait on externally visible state
+// rather than internals.
+func waitFor(t *testing.T, timeout time.Duration, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitCaughtUp waits until the follower has applied through seq.
+func waitCaughtUp(t *testing.T, client *Client, seq int64) {
+	t.Helper()
+	waitFor(t, 15*time.Second, fmt.Sprintf("follower to reach seq %d", seq), func() bool {
+		st, err := client.Stats()
+		if err != nil {
+			t.Fatalf("Stats: %v", err)
+		}
+		return st.WALLastSeq >= seq
+	})
+}
+
+// TestReplFollowerStreamsAndPromotes is the end-to-end happy path of
+// the tentpole: live streaming with checkpoint announcements, lag and
+// role visibility, typed write rejection on the follower, and a manual
+// promotion after leader loss that converges byte-for-byte with the
+// dead leader's acked state.
+func TestReplFollowerStreamsAndPromotes(t *testing.T) {
+	leaderDir := filepath.Join(t.TempDir(), "leader")
+	followerDir := filepath.Join(t.TempDir(), "follower")
+
+	// ckptEvery 6 forces several rotations mid-run, so the follower must
+	// fold checkpoint announcements interleaved with records.
+	leaderSrv, leaderClient, leaderAddr, ft := startReplLeader(t, leaderDir, 6)
+	followerSrv, followerClient := startReplFollower(t, followerDir, leaderAddr, leaderSrv.walMeta, 6, 0)
+
+	for _, ch := range walWorkload(ft, 11, 4, 3) {
+		playChunk(t, leaderClient, ch)
+	}
+	leaderStats, err := leaderClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaderStats.ReplRole != "leader" || leaderStats.ReplFollowers != 1 {
+		t.Fatalf("leader stats: role=%q followers=%d", leaderStats.ReplRole, leaderStats.ReplFollowers)
+	}
+	waitCaughtUp(t, followerClient, leaderStats.WALLastSeq)
+
+	// The group-commit gate means a quiesced leader has every record
+	// acked; its own view of the follower must agree.
+	waitFor(t, 10*time.Second, "leader to see the follower synced and acked", func() bool {
+		info, err := leaderClient.ReplStatus()
+		if err != nil {
+			t.Fatalf("ReplStatus: %v", err)
+		}
+		return len(info.Followers) == 1 && info.Followers[0].Synced &&
+			info.Followers[0].AckedSeq == leaderStats.WALLastSeq
+	})
+
+	followerStats, err := followerClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if followerStats.ReplRole != "follower" {
+		t.Fatalf("follower role = %q", followerStats.ReplRole)
+	}
+	if followerStats.WALCheckpointSeq != leaderStats.WALCheckpointSeq {
+		t.Fatalf("checkpoint misaligned: follower rotated at %d, leader at %d",
+			followerStats.WALCheckpointSeq, leaderStats.WALCheckpointSeq)
+	}
+	if followerStats.ReplRecordsApplied != leaderStats.WALLastSeq {
+		t.Fatalf("follower applied %d records, leader journaled %d",
+			followerStats.ReplRecordsApplied, leaderStats.WALLastSeq)
+	}
+	info, err := followerClient.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Role != "follower" || info.LeaderAddr != leaderAddr {
+		t.Fatalf("follower repl status: %+v", info)
+	}
+
+	// Writes on the follower are refused with the typed rejection that
+	// carries the leader's address.
+	var nl *NotLeaderError
+	if _, err := followerClient.Submit(EventSpec{Kind: "x", Flows: []FlowSpec{{Src: 0, Dst: 1, DemandBps: 1e6}}}); !errors.As(err, &nl) {
+		t.Fatalf("submit on follower: got %v, want *NotLeaderError", err)
+	}
+	if !errors.Is(nl, ErrNotLeader) || nl.LeaderAddr != leaderAddr || nl.Role != "follower" {
+		t.Fatalf("rejection detail: %+v", nl)
+	}
+	if _, err := followerClient.Fault(FaultSpec{Action: "install-timeout", Times: 1}); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("fault on follower: got %v, want ErrNotLeader", err)
+	}
+
+	// Kill the leader; promote; the promoted server must be the dead
+	// leader's acked state, exactly.
+	want := captureDigest(t, leaderSrv, leaderClient)
+	if err := leaderSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pInfo, err := followerClient.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if pInfo.Role != "leader" || pInfo.Term < 2 {
+		t.Fatalf("after promote: %+v", pInfo)
+	}
+	got := captureDigest(t, followerSrv, followerClient)
+	diffDigest(t, want, got)
+
+	// Idempotent for an operator racing the watchdog.
+	again, err := followerClient.Promote()
+	if err != nil || again.Term != pInfo.Term {
+		t.Fatalf("second promote: info=%+v err=%v", again, err)
+	}
+
+	// The promoted leader serves: run another chunk to completion.
+	for _, ch := range walWorkload(ft, 12, 1, 3) {
+		playChunk(t, followerClient, ch)
+	}
+	st, err := followerClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReplRole != "leader" || st.ReplTerm != pInfo.Term {
+		t.Fatalf("promoted stats: role=%q term=%d", st.ReplRole, st.ReplTerm)
+	}
+}
+
+// TestReplAutoPromoteOnLeaderLoss exercises the watchdog: the leader
+// vanishes (process gone, port closed) and the follower promotes itself
+// once the leader has been dark past PromoteAfter, then serves writes.
+func TestReplAutoPromoteOnLeaderLoss(t *testing.T) {
+	leaderDir := filepath.Join(t.TempDir(), "leader")
+	followerDir := filepath.Join(t.TempDir(), "follower")
+	leaderSrv, leaderClient, leaderAddr, ft := startReplLeader(t, leaderDir, -1)
+	_, followerClient := startReplFollower(t, followerDir, leaderAddr, leaderSrv.walMeta, -1, 400*time.Millisecond)
+
+	playChunk(t, leaderClient, walWorkload(ft, 21, 1, 3)[0])
+	st, err := leaderClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, followerClient, st.WALLastSeq)
+
+	if err := leaderSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "watchdog promotion", func() bool {
+		info, err := followerClient.ReplStatus()
+		if err != nil {
+			t.Fatalf("ReplStatus: %v", err)
+		}
+		return info.Role == "leader"
+	})
+	info, err := followerClient.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Term < 2 {
+		t.Fatalf("promoted term = %d, want >= 2", info.Term)
+	}
+	if info.LastSeq != st.WALLastSeq {
+		t.Fatalf("acked-event loss: promoted at seq %d, leader acked %d", info.LastSeq, st.WALLastSeq)
+	}
+	playChunk(t, followerClient, walWorkload(ft, 22, 1, 2)[0])
+}
+
+// TestReplSplitBrain pins the fencing rules: once a follower has
+// promoted, its term deposes the old leader at first contact, and a
+// deposed leader never again accepts a write or a promotion.
+func TestReplSplitBrain(t *testing.T) {
+	leaderDir := filepath.Join(t.TempDir(), "leader")
+	followerDir := filepath.Join(t.TempDir(), "follower")
+	leaderSrv, leaderClient, leaderAddr, ft := startReplLeader(t, leaderDir, -1)
+	_, followerClient := startReplFollower(t, followerDir, leaderAddr, leaderSrv.walMeta, -1, 0)
+
+	playChunk(t, leaderClient, walWorkload(ft, 31, 1, 3)[0])
+	st, err := leaderClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, followerClient, st.WALLastSeq)
+
+	// A network partition hides the leader from the operator, who
+	// promotes the follower. The old leader is still running.
+	pInfo, err := followerClient.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if pInfo.Term < 2 {
+		t.Fatalf("promoted term = %d", pInfo.Term)
+	}
+
+	// The promoted term is persisted: a fresh LoadTerm sees the fence.
+	term, err := repl.LoadTerm(followerDir)
+	if err != nil || term != pInfo.Term {
+		t.Fatalf("persisted term = %d (err %v), want %d", term, err, pInfo.Term)
+	}
+
+	// First contact from the new term deposes the old leader: the
+	// handshake is refused with CodeDeposed and the old leader steps
+	// down read-only.
+	meta := leaderSrv.walMeta
+	sess, err := dialFollowerSession(&FollowerConfig{LeaderAddr: leaderAddr, Meta: &meta}, pInfo.Term, 0, true)
+	if err != nil {
+		t.Fatalf("deposing handshake: %v", err)
+	}
+	defer sess.conn.Close()
+	if sess.welcome.Code != repl.CodeDeposed {
+		t.Fatalf("welcome code = %q, want %q", sess.welcome.Code, repl.CodeDeposed)
+	}
+	if err := repl.CheckWelcome(pInfo.Term, sess.welcome); !errors.Is(err, repl.ErrRejected) {
+		t.Fatalf("CheckWelcome: %v", err)
+	}
+
+	waitFor(t, 5*time.Second, "old leader to step down", func() bool {
+		info, err := leaderClient.ReplStatus()
+		if err != nil {
+			t.Fatalf("ReplStatus: %v", err)
+		}
+		return info.Role == "deposed"
+	})
+
+	// Never dual-write: every write path on the deposed leader is a
+	// typed rejection, including promotion back to leader.
+	if _, err := leaderClient.Submit(EventSpec{Kind: "x", Flows: []FlowSpec{{Src: 0, Dst: 1, DemandBps: 1e6}}}); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("submit on deposed leader: got %v, want ErrNotLeader", err)
+	}
+	if _, err := leaderClient.Fault(FaultSpec{Action: "install-timeout", Times: 1}); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("fault on deposed leader: got %v, want ErrNotLeader", err)
+	}
+	if _, err := leaderClient.Promote(); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("promote on deposed leader: got %v, want ErrNotLeader", err)
+	}
+
+	// The new leader, meanwhile, serves.
+	playChunk(t, followerClient, walWorkload(ft, 32, 1, 2)[0])
+}
+
+// TestReplFailoverFoldEquivalenceAtEveryPrefix is the failover property
+// test, mirroring TestRecoveryFoldEquivalenceAtEveryPrefix: the leader
+// can die after ANY replicated record, and for every such prefix p the
+// promoted follower (which received exactly p records — the leader's
+// whole log) must match a never-crashed server that folded the same p
+// records locally. Prefixes where an archived checkpoint applies also
+// exercise the bootstrap-snapshot path: the leader boots from the
+// checkpoint image, so the follower installs the snapshot and streams
+// only the suffix, yet must still converge to the full-fold digest.
+func TestReplFailoverFoldEquivalenceAtEveryPrefix(t *testing.T) {
+	baseDir := filepath.Join(t.TempDir(), "wal")
+	_, clientA, _, ft := startWALServer(t, baseDir, 5, wal.WithKeepSegments())
+	for _, ch := range walWorkload(ft, 4, 4, 3) {
+		playChunk(t, clientA, ch)
+	}
+	histDir := filepath.Join(t.TempDir(), "hist")
+	copyDir(t, baseDir, histDir)
+	hist, err := wal.Open(histDir, wal.WithKeepSegments())
+	if err != nil {
+		t.Fatalf("open history: %v", err)
+	}
+	lastSeq := hist.LastSeq()
+	if lastSeq < 10 {
+		t.Fatalf("workload journaled only %d records, too few to be interesting", lastSeq)
+	}
+	archives := readArchivedCheckpoints(t, histDir)
+
+	for p := int64(1); p <= lastSeq; p++ {
+		p := p
+		t.Run(fmt.Sprintf("prefix-%02d", p), func(t *testing.T) {
+			t.Parallel()
+			// Reference: fold the prefix locally, no replication drama.
+			foldDir := filepath.Join(t.TempDir(), "fold")
+			buildPrefixDir(t, hist, foldDir, p, nil)
+			srvF, clientF, _, _ := startWALServer(t, foldDir, -1)
+			want := captureDigest(t, srvF, clientF)
+
+			// The leader serving the replication stream boots from the
+			// newest checkpoint image covering p when one exists (so the
+			// follower must bootstrap from the snapshot), else from the
+			// plain prefix.
+			var ckpt []byte
+			for i := range archives {
+				if archives[i].seq <= p {
+					ckpt = archives[i].data
+				}
+			}
+			leaderDir := filepath.Join(t.TempDir(), "leader")
+			buildPrefixDir(t, hist, leaderDir, p, ckpt)
+			leaderSrv, _, leaderAddr, _ := startReplLeader(t, leaderDir, -1)
+
+			followerDir := filepath.Join(t.TempDir(), "follower")
+			followerSrv, followerClient := startReplFollower(t, followerDir, leaderAddr, leaderSrv.walMeta, -1, 0)
+			waitCaughtUp(t, followerClient, p)
+
+			// Kill the leader at this exact stream prefix, promote.
+			if err := leaderSrv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			info, err := followerClient.Promote()
+			if err != nil {
+				t.Fatalf("Promote: %v", err)
+			}
+			if info.Role != "leader" || info.LastSeq != p {
+				t.Fatalf("promoted at seq %d as %s, want leader at %d", info.LastSeq, info.Role, p)
+			}
+			got := captureDigest(t, followerSrv, followerClient)
+			diffDigest(t, want, got)
+
+			// The promoted trace must be a suffix of the reference trace
+			// (equal when the follower folded from genesis; shorter when
+			// it bootstrapped from a checkpoint snapshot).
+			traceWant, err := clientF.Trace(0)
+			if err != nil {
+				t.Fatalf("Trace: %v", err)
+			}
+			traceGot, err := followerClient.Trace(0)
+			if err != nil {
+				t.Fatalf("Trace: %v", err)
+			}
+			normTrace(traceWant)
+			normTrace(traceGot)
+			if len(traceGot) > len(traceWant) {
+				t.Fatalf("promoted trace has %d records, reference %d", len(traceGot), len(traceWant))
+			}
+			if ckpt == nil && len(traceGot) != len(traceWant) {
+				t.Fatalf("genesis fold traces differ in length: %d vs %d", len(traceGot), len(traceWant))
+			}
+			tail := traceWant[len(traceWant)-len(traceGot):]
+			for i := range traceGot {
+				wantJSON, _ := json.Marshal(tail[i])
+				gotJSON, _ := json.Marshal(traceGot[i])
+				if string(wantJSON) != string(gotJSON) {
+					t.Fatalf("trace record %d/%d diverged:\nreference: %s\npromoted:  %s",
+						i, len(traceGot), wantJSON, gotJSON)
+				}
+			}
+		})
+	}
+}
+
+// TestReplAttachRejections pins the leader-side handshake rejections a
+// client can provoke end to end (the full verdict table is unit-tested
+// in internal/repl).
+func TestReplAttachRejections(t *testing.T) {
+	leaderDir := filepath.Join(t.TempDir(), "leader")
+	leaderSrv, leaderClient, leaderAddr, ft := startReplLeader(t, leaderDir, -1)
+	playChunk(t, leaderClient, walWorkload(ft, 41, 1, 3)[0])
+	st, err := leaderClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := leaderSrv.walMeta
+
+	// A follower claiming a seq past the leader's log replicated from a
+	// different history.
+	sess, err := dialFollowerSession(&FollowerConfig{LeaderAddr: leaderAddr, Meta: &meta}, 1, st.WALLastSeq+10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.welcome.Code != repl.CodeAhead {
+		t.Fatalf("ahead follower: code %q, want %q", sess.welcome.Code, repl.CodeAhead)
+	}
+	sess.conn.Close()
+
+	// A different world is refused before any frame flows.
+	otherMeta := meta
+	otherMeta.Scheduler = "fifo"
+	sess, err = dialFollowerSession(&FollowerConfig{LeaderAddr: leaderAddr, Meta: &otherMeta}, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.welcome.Code != repl.CodeMetaMismatch {
+		t.Fatalf("mismatched world: code %q, want %q", sess.welcome.Code, repl.CodeMetaMismatch)
+	}
+	sess.conn.Close()
+
+	// The configured cap (default 1): a second live session is refused.
+	followerDir := filepath.Join(t.TempDir(), "follower")
+	_, followerClient := startReplFollower(t, followerDir, leaderAddr, meta, -1, 0)
+	waitCaughtUp(t, followerClient, st.WALLastSeq)
+	sess, err = dialFollowerSession(&FollowerConfig{LeaderAddr: leaderAddr, Meta: &meta}, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.welcome.Code != repl.CodeFull {
+		t.Fatalf("second follower: code %q, want %q", sess.welcome.Code, repl.CodeFull)
+	}
+	sess.conn.Close()
+
+	// A server running without a WAL has nothing to replicate.
+	planner, scheduler, _ := buildWALWorld(t, true)
+	plain := NewServer(planner, scheduler, sim.Config{InstallTime: time.Millisecond})
+	_, plainAddr := serveAndDial(t, plain)
+	sess, err = dialFollowerSession(&FollowerConfig{LeaderAddr: plainAddr, Meta: &meta}, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.welcome.Code != repl.CodeNoWAL {
+		t.Fatalf("no-wal server: code %q, want %q", sess.welcome.Code, repl.CodeNoWAL)
+	}
+	sess.conn.Close()
+}
+
+// TestReplFollowerFoldsPipelinedBatches is the regression test for a
+// fold-divergence bug: under pipelined load the leader admits records
+// mid-cascade, stamping them with whatever round count its engine had
+// reached, so a follower that runs rounds of its own — between applies
+// in the state loop, or in the recovery drain at boot — pushes its
+// clock past the next record's stamp and the fold's clock assertion
+// fires ("wal replay diverged"). Every other test in this suite waits
+// each chunk to quiescence before the next submit, which hides the
+// bug: at a quiesced boundary the free-running follower lands on the
+// same clock as the fold. This one never waits between batches, so
+// every batch after the first is admitted while earlier events are
+// still executing, and it fires faults mid-flight for the same reason.
+func TestReplFollowerFoldsPipelinedBatches(t *testing.T) {
+	leaderDir := filepath.Join(t.TempDir(), "leader")
+	followerDir := filepath.Join(t.TempDir(), "follower")
+
+	// ckptEvery 4 forces rotations while the cascade is still running.
+	leaderSrv, leaderClient, leaderAddr, ft := startReplLeader(t, leaderDir, 4)
+	followerSrv, followerClient := startReplFollower(t, followerDir, leaderAddr, leaderSrv.walMeta, 4, 0)
+
+	// Flatten a chunked workload into back-to-back submissions: batch,
+	// fault, batch, ... with no WaitDone anywhere in between.
+	chunks := walWorkload(ft, 29, 3, 4)
+	var ids, repairs []int64
+	for _, ch := range chunks {
+		got, err := leaderClient.SubmitBatchRetry(ch.specs, 5)
+		if err != nil {
+			t.Fatalf("SubmitBatchRetry: %v", err)
+		}
+		ids = append(ids, got...)
+		if ch.fault != nil {
+			res, err := leaderClient.Fault(*ch.fault)
+			if err != nil {
+				t.Fatalf("Fault(%s): %v", ch.fault.Action, err)
+			}
+			if res.RepairEventID != 0 {
+				repairs = append(repairs, res.RepairEventID)
+			}
+		}
+	}
+	for _, id := range append(ids, repairs...) {
+		if _, err := leaderClient.WaitDone(id, 15*time.Second); err != nil {
+			t.Fatalf("WaitDone(%d): %v", id, err)
+		}
+	}
+
+	leaderStats, err := leaderClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail fast on a fold error instead of timing out on catch-up: a
+	// diverged follower stops applying, so its seq would stall forever.
+	waitFor(t, 15*time.Second, fmt.Sprintf("follower to fold through seq %d", leaderStats.WALLastSeq), func() bool {
+		info, err := followerClient.ReplStatus()
+		if err != nil {
+			t.Fatalf("ReplStatus: %v", err)
+		}
+		if info.LastError != "" {
+			t.Fatalf("follower fold failed at seq %d: %s", info.LastSeq, info.LastError)
+		}
+		return info.LastSeq >= leaderStats.WALLastSeq
+	})
+
+	// The promoted follower must be the quiesced leader's state, exactly.
+	want := captureDigest(t, leaderSrv, leaderClient)
+	if err := leaderSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pInfo, err := followerClient.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if pInfo.Role != "leader" || pInfo.Term < 2 {
+		t.Fatalf("after promote: %+v", pInfo)
+	}
+	got := captureDigest(t, followerSrv, followerClient)
+	diffDigest(t, want, got)
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -14,6 +15,7 @@ import (
 	"netupdate/internal/fault"
 	"netupdate/internal/flow"
 	"netupdate/internal/obs"
+	"netupdate/internal/repl"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
 	"netupdate/internal/snapshot"
@@ -74,6 +76,11 @@ type Server struct {
 	sinceCkpt int
 	walMet    *obs.WALMetrics
 
+	// WAL replication hub (nil without a WAL). Role and term are state-
+	// loop confined; see repl.go for the full confinement story.
+	repl    *replState
+	replCfg *ReplicationConfig
+
 	cmds    chan command
 	closing chan struct{}
 	// loopStop tells the state loop's shutdown drain that every
@@ -92,6 +99,10 @@ type Server struct {
 // command is one request routed to the state loop.
 type command struct {
 	req Request
+	// repl, when set, marks an internal replication command instead of
+	// a wire request (req is ignored); the answer rides the Response's
+	// unexported repl field.
+	repl *replCmd
 	// ingestWall is the server wall clock when the request was decoded
 	// off the wire (span pipeline's ingest stamp).
 	ingestWall int64
@@ -263,7 +274,10 @@ func (s *Server) Close() error {
 		firstErr = s.listener.Close()
 	}
 	for conn := range s.open {
-		if err := conn.Close(); err != nil && firstErr == nil {
+		// A replication session may have already closed its own conn
+		// (follower detach, ack-reader failure); that is its normal end
+		// state, not a close failure.
+		if err := conn.Close(); err != nil && firstErr == nil && !errors.Is(err, net.ErrClosed) {
 			firstErr = err
 		}
 	}
@@ -274,6 +288,12 @@ func (s *Server) Close() error {
 	// exited. Only then is it safe to let the loop return: afterwards
 	// nobody is left to send.
 	s.conns.Wait()
+	// Replication goroutines (the follower stream, the heartbeater) also
+	// send commands, so they too must be gone before the loop may stop.
+	if s.repl != nil {
+		s.repl.stopFollowing()
+		s.repl.wg.Wait()
+	}
 	close(s.loopStop)
 	s.loop.Wait()
 	// The state loop has exited; flush and close the WAL so everything
@@ -314,6 +334,10 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	if first[0] == FrameMagic {
 		s.serveBinary(conn, br)
+		return
+	}
+	if first[0] == repl.StreamMagic {
+		s.serveRepl(conn, br)
 		return
 	}
 	s.serveJSON(conn, br)
@@ -443,8 +467,13 @@ func (s *Server) stateLoop() {
 
 	for {
 		batch = batch[:0]
-		// Block for work when idle; poll between rounds otherwise.
-		if s.engine.QueueLen() == 0 {
+		// Block for work when idle; poll between rounds otherwise. A
+		// following replica blocks even with a non-empty queue: its
+		// engine may only advance through the replicated fold
+		// (replayRecord steps to each record's round stamp), and
+		// free-running rounds here would push the clock past the next
+		// record's admission stamp and diverge the fold.
+		if s.engine.QueueLen() == 0 || s.replFolding() {
 			select {
 			case cmd := <-s.cmds:
 				batch = append(batch, cmd)
@@ -539,6 +568,13 @@ func (s *Server) handleBatch(batch []command) {
 		pending, replies = pending[:0], replies[:0]
 	}
 	for _, cmd := range batch {
+		if cmd.repl != nil {
+			// Replication commands see a flushed sequence point: every
+			// frame ≤ walSeq committed and published, nothing staged.
+			flush()
+			cmd.reply <- s.handleReplCmd(cmd.repl)
+			continue
+		}
 		switch cmd.req.Op {
 		case OpSubmit, OpSubmitBatch:
 			pending = append(pending, cmd)
@@ -558,6 +594,11 @@ func (s *Server) handleBatch(batch []command) {
 // wall clock stamped when the request came off the wire; it opens each
 // accepted event's latency span.
 func (s *Server) stageSubmit(req Request, ingestWall int64, staged *[]*core.Event) Response {
+	// Only the leader admits writes: a follower's state is a fold of the
+	// leader's log, and a deposed leader writing would dual-write.
+	if r := s.repl; r != nil && r.role != roleLeader {
+		return s.notLeaderResponse()
+	}
 	specs := req.Events
 	if req.Op == OpSubmit {
 		specs = []EventSpec{*req.Event}
@@ -766,12 +807,30 @@ func (s *Server) handleRequest(req Request) Response {
 			st.WALFsyncP99Ns = s.lat.WALFsync.Percentile(99)
 			st.WALFsyncCount = s.lat.WALFsync.Count()
 		}
+		if r := s.repl; r != nil {
+			st.ReplRole = r.role
+			st.ReplTerm = r.term
+			st.ReplFollowers = int(r.nFollowers.Load())
+			st.ReplSynced = int(r.nSynced.Load())
+			if r.role == roleFollower {
+				st.ReplLagRecords = max(0, r.leaderSeq.Load()-s.walSeq)
+			} else {
+				st.ReplLagRecords = r.met.LagRecords.Value()
+			}
+			st.ReplRecordsSent = r.met.RecordsSent.Value()
+			st.ReplRecordsApplied = r.met.RecordsApplied.Value()
+			st.ReplFollowerDrops = r.met.FollowerDrops.Value()
+			st.ReplFailoverMs = r.failoverMs.Load()
+		}
 		return Response{OK: true, Stats: st}
 
 	case OpTrace:
 		return Response{OK: true, Trace: s.ring.Last(req.N)}
 
 	case OpFault:
+		if r := s.repl; r != nil && r.role != roleLeader {
+			return s.notLeaderResponse()
+		}
 		out, err := s.engine.InjectFault(fault.Injection{
 			At:     s.engine.Clock(),
 			Action: fault.Action(req.Fault.Action),
@@ -818,6 +877,15 @@ func (s *Server) handleRequest(req Request) Response {
 			s.walCommit()
 		}
 		return Response{OK: true, Fault: res}
+
+	case OpReplStatus:
+		if s.repl == nil {
+			return Response{OK: false, Error: "ctl: replication requires a WAL"}
+		}
+		return Response{OK: true, Repl: s.replInfo()}
+
+	case OpReplPromote:
+		return s.handlePromote()
 
 	case opCheckpoint:
 		if s.wal == nil {

@@ -27,6 +27,7 @@ import (
 	"netupdate/internal/flow"
 	"netupdate/internal/metrics"
 	"netupdate/internal/obs"
+	"netupdate/internal/repl"
 	"netupdate/internal/sched"
 	"netupdate/internal/sim"
 	"netupdate/internal/snapshot"
@@ -66,6 +67,12 @@ type WALConfig struct {
 	// records; 0 means DefaultCheckpointEvery, negative disables
 	// automatic checkpoints (ForceCheckpoint still works).
 	CheckpointEvery int
+
+	// followerBoot marks a NewFollower recovery: the boot state must be
+	// the exact fold at the last applied record, not the quiesced
+	// drain, because the leader's subsequent record stamps continue
+	// from that fold.
+	followerBoot bool
 }
 
 // RecoveryInfo reports what NewServerWithWAL rebuilt.
@@ -173,10 +180,23 @@ type checkpointDoc struct {
 // the same genesis state the original run started from (same topology,
 // same background fill) — the replay folds the full log against it.
 func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg sim.Config, cfg WALConfig, opts ...ServerOption) (*Server, *RecoveryInfo, error) {
-	if cfg.Log == nil {
-		return nil, nil, fmt.Errorf("ctl: WALConfig.Log is nil")
-	}
 	s := newServer(planner, scheduler, simCfg, opts...)
+	info, err := s.initWAL(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.start()
+	return s, info, nil
+}
+
+// initWAL attaches an opened log to a not-yet-started server and
+// recovers its history; shared by NewServerWithWAL and NewFollower. On
+// success the server carries a replication hub (leader role by
+// default; NewFollower flips it before start).
+func (s *Server) initWAL(cfg WALConfig) (*RecoveryInfo, error) {
+	if cfg.Log == nil {
+		return nil, fmt.Errorf("ctl: WALConfig.Log is nil")
+	}
 	s.walLog = cfg.Log
 	s.walMet = obs.NewWALMetrics(s.registry)
 	s.ckptEvery = cfg.CheckpointEvery
@@ -194,7 +214,7 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 	// wrong state.
 	if lm := cfg.Log.Meta(); lm != nil {
 		if err := lm.Check(meta); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 
@@ -203,7 +223,7 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 	afterSeq := int64(0)
 	if ckpt := cfg.Log.Checkpoint(); ckpt != nil {
 		if err := s.restoreCheckpoint(ckpt); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		afterSeq = ckpt.ID.Seq
 		info.Recovered = true
@@ -212,7 +232,7 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 	}
 	ri, err := cfg.Log.Replay(afterSeq, s.replayRecord)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	info.ReplayedRecords = ri.Records
 	info.Recovered = info.Recovered || ri.Records > 0
@@ -227,13 +247,19 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 	// the leftover rounds race against the first post-recovery request
 	// and the admission interleaving (hence the round structure) becomes
 	// nondeterministic.
-	for {
-		worked, err := s.engine.Step()
-		if err != nil {
-			return nil, nil, fmt.Errorf("ctl: draining replayed backlog: %w", err)
-		}
-		if !worked {
-			break
+	//
+	// A follower boot must NOT drain: the leader stamps later records
+	// against its own mid-cascade rounds, so the fold has to resume from
+	// exactly the replayed state. The drain happens at promotion instead.
+	if !cfg.followerBoot {
+		for {
+			worked, err := s.engine.Step()
+			if err != nil {
+				return nil, fmt.Errorf("ctl: draining replayed backlog: %w", err)
+			}
+			if !worked {
+				break
+			}
 		}
 	}
 
@@ -245,7 +271,7 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 	w, err := cfg.Log.OpenWriter(meta,
 		wal.ID{VT: int64(s.engine.Clock()), Seq: cfg.Log.LastSeq()}, s.engine.Rounds())
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	s.wal = w
 	s.attachFsyncObserver()
@@ -254,8 +280,22 @@ func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg s
 
 	info.Elapsed = time.Since(started)
 	s.walMet.RecoveryMs.Set(info.Elapsed.Milliseconds())
-	s.start()
-	return s, info, nil
+
+	// Every WAL-backed server carries the replication hub: it accepts
+	// follower sessions (up to its configured cap) and its persisted
+	// term fences split-brain after a promotion elsewhere.
+	term, err := repl.LoadTerm(cfg.Log.Dir())
+	if err != nil {
+		return nil, err
+	}
+	rc := ReplicationConfig{}
+	if s.replCfg != nil {
+		rc = *s.replCfg
+	}
+	s.repl = newReplState(s, term, rc)
+	s.repl.wg.Add(1)
+	go s.replHeartbeats()
+	return info, nil
 }
 
 // ForceCheckpoint takes a checkpoint now (blocking until the state loop
@@ -283,6 +323,11 @@ func (s *Server) walAppend(rec *wal.Record) {
 	s.walMet.Appends.Inc()
 	s.walMet.Bytes.Add(b1 - b0)
 	s.walMet.LastSeq.Set(s.walSeq)
+	// Stage the record's frame for replication; it is published only at
+	// commit, so a follower never holds records the leader could lose.
+	if s.repl != nil {
+		s.repl.stage(rec)
+	}
 }
 
 // walCommit makes every appended record durable per the sync policy.
@@ -299,12 +344,24 @@ func (s *Server) walCommit() {
 	_, _, c1, y1 := s.wal.Stats()
 	s.walMet.Commits.Add(c1 - c0)
 	s.walMet.Syncs.Add(y1 - y0)
+	// Group replication rides the group commit: publish what this commit
+	// made durable, then hold the reply release until every synced
+	// follower acked it (or timed out and was dropped).
+	if r := s.repl; r != nil && r.role == roleLeader {
+		r.publish()
+		r.gate(s.walSeq)
+	}
 }
 
 // maybeCheckpoint runs the automatic checkpoint cadence (state loop
 // only, between command batches).
 func (s *Server) maybeCheckpoint() {
 	if s.wal == nil || s.ckptEvery <= 0 || s.sinceCkpt < s.ckptEvery {
+		return
+	}
+	// A follower checkpoints only on the leader's announcement, keeping
+	// both logs rotating at identical sequences.
+	if r := s.repl; r != nil && r.role == roleFollower {
 		return
 	}
 	if err := s.doCheckpoint(); err != nil {
@@ -332,6 +389,9 @@ func (s *Server) doCheckpoint() error {
 	s.sinceCkpt = 0
 	s.walMet.Checkpoints.Inc()
 	s.walMet.CheckpointSeq.Set(id.Seq)
+	if r := s.repl; r != nil && r.role == roleLeader && r.nFollowers.Load() > 0 {
+		r.announce(id, s.engine.Rounds())
+	}
 	return nil
 }
 

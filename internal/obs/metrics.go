@@ -550,6 +550,77 @@ func NewWALMetrics(r *Registry) *WALMetrics {
 	}
 }
 
+// ReplMetrics is the live metric set of WAL replication: the server's
+// role and term, follower registration and lag on the leader, frame
+// traffic in both directions, and the promotion path's failover time.
+type ReplMetrics struct {
+	// Role is 0 on a leader, 1 on a follower, 2 once deposed.
+	Role *Gauge
+	Term *Gauge
+
+	// Followers/SyncedFollowers count registered replication sessions on
+	// the leader; LagRecords is the worst acked-sequence lag across them
+	// (on a follower: its own lag behind the leader's heartbeats), with
+	// Lag the sampled distribution behind the p99 quantile view.
+	Followers       *Gauge
+	SyncedFollowers *Gauge
+	LagRecords      *Gauge
+	Lag             *Histogram
+	LagQuantiles    *Quantiles
+
+	// RecordsSent counts WAL records streamed to followers;
+	// RecordsApplied records folded by this follower; AcksReceived
+	// follower durability acks seen by the leader; FollowerDrops
+	// sessions the leader dropped for lagging past the ack timeout or
+	// overflowing their outbox.
+	RecordsSent    *Counter
+	RecordsApplied *Counter
+	AcksReceived   *Counter
+	HeartbeatsSent *Counter
+	FollowerDrops  *Counter
+
+	// Promotions counts role flips to leader; Failover is the drain-to-
+	// serving time distribution and FailoverMs the last observed value.
+	Promotions *Counter
+	Failover   *Histogram
+	FailoverMs *Gauge
+}
+
+// NewReplMetrics registers the replication metric set under the
+// "netupdate_repl_" prefix. It is only registered when the daemon runs
+// with a WAL (replication folds the WAL, so there is nothing to
+// replicate without one).
+func NewReplMetrics(r *Registry) *ReplMetrics {
+	// Power-of-two lag buckets 1..65536 records.
+	lagBounds := make([]int64, 17)
+	lb := int64(1)
+	for i := range lagBounds {
+		lagBounds[i] = lb
+		lb *= 2
+	}
+	m := &ReplMetrics{
+		Role: r.NewGauge("netupdate_repl_role", "Replication role: 0 leader, 1 follower, 2 deposed."),
+		Term: r.NewGauge("netupdate_repl_term", "Current replication term."),
+
+		Followers:       r.NewGauge("netupdate_repl_followers", "Replication sessions currently registered on this leader."),
+		SyncedFollowers: r.NewGauge("netupdate_repl_synced_followers", "Registered followers that have caught up and gate commits."),
+		LagRecords:      r.NewGauge("netupdate_repl_lag_records", "Worst follower lag in WAL records (own lag on a follower)."),
+		Lag:             r.NewHistogram("netupdate_repl_lag_records_hist", "Observed replication lag samples, in WAL records.", lagBounds),
+
+		RecordsSent:    r.NewCounter("netupdate_repl_records_sent_total", "WAL records streamed to followers."),
+		RecordsApplied: r.NewCounter("netupdate_repl_records_applied_total", "Replicated WAL records folded by this follower."),
+		AcksReceived:   r.NewCounter("netupdate_repl_acks_total", "Follower durability acknowledgements received."),
+		HeartbeatsSent: r.NewCounter("netupdate_repl_heartbeats_total", "Heartbeat frames sent to followers."),
+		FollowerDrops:  r.NewCounter("netupdate_repl_follower_drops_total", "Follower sessions dropped for ack timeout or outbox overflow."),
+
+		Promotions: r.NewCounter("netupdate_repl_promotions_total", "Role flips from follower to leader."),
+		Failover:   r.NewDurationHistogram("netupdate_repl_failover_ns", "Promotion drain-to-serving time, ns."),
+		FailoverMs: r.NewGauge("netupdate_repl_failover_ms", "Last promotion's drain-to-serving time, ms."),
+	}
+	m.LagQuantiles = r.NewQuantiles("netupdate_repl_lag_records_q", "Replication lag percentiles, in WAL records.", m.Lag, 50, 99)
+	return m
+}
+
 // Quantiles renders chosen percentiles of a histogram at scrape time as
 // a labelled gauge family (name{q="0.99"} ...). It registers no storage
 // of its own — values come from Histogram.Percentile on demand.

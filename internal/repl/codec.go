@@ -1,0 +1,275 @@
+// Replication stream framing.
+//
+// A replication session is a single long-lived TCP connection carrying
+// length-prefixed, CRC-framed messages in both directions (frames
+// leader→follower, acks follower→leader):
+//
+//	byte 0     StreamMagic (0xB9; distinct from the ctl binary frame
+//	           magic 0xB7 and from any JSON document, so the ctl
+//	           listener routes the connection off its first byte)
+//	byte 1     StreamVersion
+//	byte 2     frame kind (Kind*)
+//	byte 3     flags (kind-specific)
+//	bytes 4-7  u32 little-endian payload length
+//	bytes 8-11 u32 little-endian CRC-32C (Castagnoli) of the payload
+//	bytes 12-  payload
+//
+// A KindRecords payload is a concatenation of raw WAL frames exactly as
+// they sit in the leader's segment files — the follower re-parses them
+// with wal.ReadFrame and appends the identical bytes to its own log, so
+// leader and follower logs stay frame-for-frame comparable.
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"netupdate/internal/wal"
+)
+
+const (
+	// StreamMagic is the first byte of every replication frame.
+	StreamMagic byte = 0xB9
+	// StreamVersion is the replication protocol version.
+	StreamVersion = 1
+	// HeaderSize is the fixed frame header length.
+	HeaderSize = 12
+	// MaxPayload bounds a frame's payload (16 MiB), limiting what a
+	// malformed length field can make the receiver allocate.
+	MaxPayload = 1 << 24
+)
+
+// Frame kinds.
+const (
+	// KindHello opens a session (follower→leader, JSON Hello payload).
+	KindHello byte = 1
+	// KindWelcome answers a Hello (leader→follower, JSON Welcome).
+	KindWelcome byte = 2
+	// KindRecords carries one batch of raw WAL frames (leader→follower).
+	KindRecords byte = 3
+	// KindCheckpoint carries a checkpoint: with FlagBootstrap a full
+	// state snapshot to install, without it an announcement that the
+	// leader rotated at the carried sequence and the follower should
+	// checkpoint its own fold there too (leader→follower, JSON
+	// wal.Checkpoint payload).
+	KindCheckpoint byte = 4
+	// KindHeartbeat is the leader's liveness beacon (16-byte payload:
+	// u64 term, u64 lastSeq).
+	KindHeartbeat byte = 5
+	// KindAck acknowledges durable application through a sequence
+	// number (follower→leader, 8-byte payload: u64 seq).
+	KindAck byte = 6
+)
+
+// FlagBootstrap on a KindCheckpoint frame marks a full bootstrap
+// snapshot rather than a rotation announcement.
+const FlagBootstrap byte = 1 << 0
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Message is one decoded replication frame. Exactly one payload field
+// matching Kind is set.
+type Message struct {
+	Kind byte
+
+	Hello   *Hello
+	Welcome *Welcome
+	// Checkpoint is the decoded checkpoint document; Bootstrap mirrors
+	// FlagBootstrap.
+	Checkpoint *wal.Checkpoint
+	Bootstrap  bool
+	// Records holds the raw bytes of the batched WAL frames; decode
+	// individual records with DecodeRecords.
+	Records   []byte
+	Heartbeat *Heartbeat
+	Ack       *Ack
+}
+
+// appendFrame frames payload with kind/flags onto dst.
+func appendFrame(dst []byte, kind, flags byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("repl: frame payload %d exceeds cap %d", len(payload), MaxPayload)
+	}
+	var h [HeaderSize]byte
+	h[0] = StreamMagic
+	h[1] = StreamVersion
+	h[2] = kind
+	h[3] = flags
+	binary.LittleEndian.PutUint32(h[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[8:12], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...), nil
+}
+
+// AppendHello frames a Hello onto dst.
+func AppendHello(dst []byte, h *Hello) ([]byte, error) {
+	payload, err := json.Marshal(h)
+	if err != nil {
+		return dst, err
+	}
+	return appendFrame(dst, KindHello, 0, payload)
+}
+
+// AppendWelcome frames a Welcome onto dst.
+func AppendWelcome(dst []byte, w *Welcome) ([]byte, error) {
+	payload, err := json.Marshal(w)
+	if err != nil {
+		return dst, err
+	}
+	return appendFrame(dst, KindWelcome, 0, payload)
+}
+
+// AppendRecords frames a batch of raw WAL frames onto dst.
+func AppendRecords(dst []byte, frames []byte) ([]byte, error) {
+	return appendFrame(dst, KindRecords, 0, frames)
+}
+
+// AppendCheckpoint frames a checkpoint document onto dst; bootstrap
+// selects snapshot semantics over a rotation announcement.
+func AppendCheckpoint(dst []byte, ck *wal.Checkpoint, bootstrap bool) ([]byte, error) {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return dst, err
+	}
+	var flags byte
+	if bootstrap {
+		flags |= FlagBootstrap
+	}
+	return appendFrame(dst, KindCheckpoint, flags, payload)
+}
+
+// AppendHeartbeat frames a liveness beacon onto dst.
+func AppendHeartbeat(dst []byte, term uint64, lastSeq int64) ([]byte, error) {
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[0:8], term)
+	binary.LittleEndian.PutUint64(p[8:16], uint64(lastSeq))
+	return appendFrame(dst, KindHeartbeat, 0, p[:])
+}
+
+// AppendAck frames a durability acknowledgement onto dst.
+func AppendAck(dst []byte, seq int64) ([]byte, error) {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], uint64(seq))
+	return appendFrame(dst, KindAck, 0, p[:])
+}
+
+// ReadMessage reads and decodes exactly one replication frame from r.
+// scratch is an optional reuse buffer; the returned slice is the
+// (possibly grown) buffer to pass back in. io.EOF marks a clean
+// boundary before any header byte; io.ErrUnexpectedEOF a torn frame;
+// ErrCorrupt a CRC mismatch or malformed payload.
+func ReadMessage(r io.Reader, scratch []byte) (*Message, []byte, error) {
+	var h [HeaderSize]byte
+	if _, err := io.ReadFull(r, h[:1]); err != nil {
+		return nil, scratch, err
+	}
+	if h[0] != StreamMagic {
+		return nil, scratch, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, h[0])
+	}
+	if _, err := io.ReadFull(r, h[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, scratch, err
+	}
+	if h[1] != StreamVersion {
+		return nil, scratch, fmt.Errorf("%w: unsupported stream version %d", ErrCorrupt, h[1])
+	}
+	n := binary.LittleEndian.Uint32(h[4:8])
+	if n > MaxPayload {
+		return nil, scratch, fmt.Errorf("%w: frame payload %d exceeds cap %d", ErrCorrupt, n, MaxPayload)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, scratch, err
+	}
+	if crc32.Checksum(scratch, castagnoli) != binary.LittleEndian.Uint32(h[8:12]) {
+		return nil, scratch, fmt.Errorf("%w: payload CRC mismatch", ErrCorrupt)
+	}
+	m, err := decodeMessage(h[2], h[3], scratch)
+	return m, scratch, err
+}
+
+// decodeMessage decodes one frame's payload by kind. The payload slice
+// is only borrowed: JSON kinds unmarshal out of it, binary kinds copy.
+func decodeMessage(kind, flags byte, payload []byte) (*Message, error) {
+	m := &Message{Kind: kind}
+	switch kind {
+	case KindHello:
+		m.Hello = new(Hello)
+		if err := json.Unmarshal(payload, m.Hello); err != nil {
+			return nil, fmt.Errorf("%w: hello: %v", ErrCorrupt, err)
+		}
+	case KindWelcome:
+		m.Welcome = new(Welcome)
+		if err := json.Unmarshal(payload, m.Welcome); err != nil {
+			return nil, fmt.Errorf("%w: welcome: %v", ErrCorrupt, err)
+		}
+	case KindCheckpoint:
+		m.Checkpoint = new(wal.Checkpoint)
+		if err := json.Unmarshal(payload, m.Checkpoint); err != nil {
+			return nil, fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
+		}
+		m.Bootstrap = flags&FlagBootstrap != 0
+	case KindRecords:
+		m.Records = append([]byte(nil), payload...)
+	case KindHeartbeat:
+		if len(payload) != 16 {
+			return nil, fmt.Errorf("%w: heartbeat payload %d bytes, want 16", ErrCorrupt, len(payload))
+		}
+		m.Heartbeat = &Heartbeat{
+			Term:    binary.LittleEndian.Uint64(payload[0:8]),
+			LastSeq: int64(binary.LittleEndian.Uint64(payload[8:16])),
+		}
+	case KindAck:
+		if len(payload) != 8 {
+			return nil, fmt.Errorf("%w: ack payload %d bytes, want 8", ErrCorrupt, len(payload))
+		}
+		m.Ack = &Ack{Seq: int64(binary.LittleEndian.Uint64(payload))}
+	default:
+		return nil, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kind)
+	}
+	return m, nil
+}
+
+// DecodeRecords parses a KindRecords payload into its WAL records,
+// enforcing intra-batch sequence contiguity (each record exactly one
+// past the previous). The first record's continuity with the
+// follower's applied prefix is the applier's check, not the codec's.
+func DecodeRecords(frames []byte) ([]*wal.Record, error) {
+	var (
+		recs    []*wal.Record
+		scratch []byte
+		r       = bytes.NewReader(frames)
+	)
+	for {
+		rec, s, err := wal.ReadFrame(r, scratch)
+		scratch = s
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: truncated wal frame in records batch", ErrCorrupt)
+			}
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if rec.Type == wal.TypeMeta {
+			return nil, fmt.Errorf("%w: meta record in replication stream", ErrCorrupt)
+		}
+		if n := len(recs); n > 0 && rec.ID.Seq != recs[n-1].ID.Seq+1 {
+			return nil, fmt.Errorf("%w: seq %d after %d in one batch", ErrSeqGap, rec.ID.Seq, recs[n-1].ID.Seq)
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,162 @@
+package repl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netupdate/internal/wal"
+)
+
+func testMeta() wal.Meta {
+	return wal.Meta{Format: wal.FormatVersion, Scheduler: "plmtf", Seed: 7, K: 4, Util: 0.3, Watermark: 4096}
+}
+
+// TestJudgeTable pins the handshake verdict for every split-brain and
+// resume case: Judge is the single authority the server wiring
+// consults, so these rows are the protocol's rules of engagement.
+func TestJudgeTable(t *testing.T) {
+	meta := testMeta()
+	otherMeta := meta
+	otherMeta.Seed = 8
+
+	cases := []struct {
+		name                    string
+		term                    uint64
+		lastSeq, ckptSeq        int64
+		followers, maxFollowers int
+		hello                   Hello
+		wantCode                string
+		wantDeposed             bool
+		wantSnapshot            bool
+	}{
+		{
+			name: "fresh follower accepted",
+			term: 1, lastSeq: 10, ckptSeq: 0, maxFollowers: 1,
+			hello: Hello{Term: 1, AfterSeq: 0, Bootstrap: true, Meta: meta},
+		},
+		{
+			name: "resume mid-log accepted",
+			term: 1, lastSeq: 10, ckptSeq: 3, maxFollowers: 1,
+			hello: Hello{Term: 1, AfterSeq: 7, Meta: meta},
+		},
+		{
+			name: "resume exactly at checkpoint accepted",
+			term: 1, lastSeq: 10, ckptSeq: 5, maxFollowers: 1,
+			hello: Hello{Term: 1, AfterSeq: 5, Meta: meta},
+		},
+		{
+			name: "higher hello term deposes the leader",
+			term: 2, lastSeq: 10, ckptSeq: 0, maxFollowers: 1,
+			hello:       Hello{Term: 3, AfterSeq: 0, Meta: meta},
+			wantCode:    CodeDeposed,
+			wantDeposed: true,
+		},
+		{
+			name: "lower hello term does not depose",
+			term: 5, lastSeq: 10, ckptSeq: 0, maxFollowers: 1,
+			hello: Hello{Term: 2, AfterSeq: 4, Meta: meta},
+		},
+		{
+			name: "world mismatch refused",
+			term: 1, lastSeq: 10, ckptSeq: 0, maxFollowers: 1,
+			hello:    Hello{Term: 1, AfterSeq: 0, Bootstrap: true, Meta: otherMeta},
+			wantCode: CodeMetaMismatch,
+		},
+		{
+			name: "deposing term outranks meta mismatch",
+			term: 1, lastSeq: 10, ckptSeq: 0, maxFollowers: 1,
+			hello:       Hello{Term: 9, AfterSeq: 0, Meta: otherMeta},
+			wantCode:    CodeDeposed,
+			wantDeposed: true,
+		},
+		{
+			name: "follower cap refused",
+			term: 1, lastSeq: 10, ckptSeq: 0, followers: 1, maxFollowers: 1,
+			hello:    Hello{Term: 1, AfterSeq: 5, Meta: meta},
+			wantCode: CodeFull,
+		},
+		{
+			name: "follower ahead of the log refused",
+			term: 1, lastSeq: 10, ckptSeq: 0, maxFollowers: 1,
+			hello:    Hello{Term: 1, AfterSeq: 11, Meta: meta},
+			wantCode: CodeAhead,
+		},
+		{
+			name: "empty follower behind checkpoint gets a snapshot",
+			term: 1, lastSeq: 100, ckptSeq: 50, maxFollowers: 1,
+			hello:        Hello{Term: 1, AfterSeq: 0, Bootstrap: true, Meta: meta},
+			wantSnapshot: true,
+		},
+		{
+			name: "non-empty follower behind checkpoint must resync",
+			term: 1, lastSeq: 100, ckptSeq: 50, maxFollowers: 1,
+			hello:    Hello{Term: 1, AfterSeq: 30, Meta: meta},
+			wantCode: CodeBehind,
+		},
+		{
+			name: "empty follower that cannot bootstrap must resync",
+			term: 1, lastSeq: 100, ckptSeq: 50, maxFollowers: 1,
+			hello:    Hello{Term: 1, AfterSeq: 0, Bootstrap: false, Meta: meta},
+			wantCode: CodeBehind,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := meta
+			v := Judge(tc.term, tc.lastSeq, tc.ckptSeq, &m, tc.followers, tc.maxFollowers, &tc.hello)
+			if v.Code != tc.wantCode {
+				t.Fatalf("code = %q (%s), want %q", v.Code, v.Detail, tc.wantCode)
+			}
+			if v.Deposed != tc.wantDeposed {
+				t.Fatalf("deposed = %v, want %v", v.Deposed, tc.wantDeposed)
+			}
+			if v.SendCheckpoint != tc.wantSnapshot {
+				t.Fatalf("sendCheckpoint = %v, want %v", v.SendCheckpoint, tc.wantSnapshot)
+			}
+		})
+	}
+}
+
+// TestCheckWelcome pins the follower side of the split-brain fence: a
+// stale leader's frames are refused before any is folded.
+func TestCheckWelcome(t *testing.T) {
+	if err := CheckWelcome(2, &Welcome{Term: 2}); err != nil {
+		t.Fatalf("equal terms: %v", err)
+	}
+	if err := CheckWelcome(2, &Welcome{Term: 5}); err != nil {
+		t.Fatalf("higher leader term: %v", err)
+	}
+	err := CheckWelcome(3, &Welcome{Term: 2})
+	if !errors.Is(err, ErrStaleLeader) {
+		t.Fatalf("stale leader: got %v, want ErrStaleLeader", err)
+	}
+	err = CheckWelcome(1, &Welcome{Code: CodeBehind, Detail: "wipe and resync", Term: 1})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("rejection: got %v, want ErrRejected", err)
+	}
+}
+
+func TestTermPersistence(t *testing.T) {
+	dir := t.TempDir()
+	term, err := LoadTerm(dir)
+	if err != nil || term != 1 {
+		t.Fatalf("fresh dir: term=%d err=%v, want 1, nil", term, err)
+	}
+	if err := SaveTerm(dir, 7); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	term, err = LoadTerm(dir)
+	if err != nil || term != 7 {
+		t.Fatalf("reload: term=%d err=%v, want 7, nil", term, err)
+	}
+	// Corrupt file surfaces an error rather than silently resetting the
+	// fence to 1 (that would re-admit a deposed leader).
+	if err := os.WriteFile(filepath.Join(dir, termName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTerm(dir); err == nil {
+		t.Fatal("corrupt term.json: want error, got nil")
+	}
+}

@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// tornLog writes recs into a fresh log at dir and appends torn bytes to
+// the segment's tail, returning the number of garbage bytes.
+func tornLog(t *testing.T, dir string, recs []*Record) int64 {
+	t.Helper()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs)
+	w.Close()
+
+	segPath := l.Segments()[0].Path
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0xde, 0xad, 0xbe, 0xef, 0x01}
+	if err := os.WriteFile(segPath, append(data, torn...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(torn))
+}
+
+func TestTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(5)
+	tornBytes := tornLog(t, dir, recs)
+
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Segments()[0].Truncated {
+		t.Fatal("scan did not flag the torn tail")
+	}
+	removed, err := l.TruncateTail()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != tornBytes {
+		t.Fatalf("removed %d bytes, want %d", removed, tornBytes)
+	}
+	if l.Segments()[0].Truncated {
+		t.Fatal("Truncated flag not cleared")
+	}
+
+	// Idempotent, and a no-op on a clean reopen and on an empty log.
+	if removed, err = l.TruncateTail(); err != nil || removed != 0 {
+		t.Fatalf("second truncate: removed=%d err=%v", removed, err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after truncate: %v", err)
+	}
+	got, info := replayAll(t, l2, 0)
+	if info.Truncated || !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replay after truncate: info=%+v records=%d", info, len(got))
+	}
+	empty, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed, err = empty.TruncateTail(); err != nil || removed != 0 {
+		t.Fatalf("empty log: removed=%d err=%v", removed, err)
+	}
+}
+
+// TestTornTailSurvivingRotationIsCorrupt is the regression for the
+// latent bug TruncateTail fixes: Scan tolerates a torn tail only on the
+// final segment, so a rotation that starts a fresh segment while torn
+// bytes still trail the previous one leaves a directory the next Open
+// refuses. A follower that resumes with TruncateTail before folding
+// checkpoint announcements never reaches that state.
+func TestTornTailSurvivingRotationIsCorrupt(t *testing.T) {
+	recs := testRecords(5)
+	rotate := func(dir string, truncate bool) error {
+		l, err := Open(dir, WithKeepSegments())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truncate {
+			if _, err := l.TruncateTail(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A checkpoint announcement rotates the log at the current seq;
+		// keep mode (and the purge-survivor case generally) leaves the old
+		// segment on disk, now non-final.
+		w, err := l.Rotate(nil, nil, ID{VT: 5000, Seq: 5}, 2)
+		if err != nil {
+			return err
+		}
+		w.Close()
+		_, err = Open(dir, WithKeepSegments())
+		return err
+	}
+
+	buggy := t.TempDir()
+	tornLog(t, buggy, recs)
+	if err := rotate(buggy, false); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("rotation over a torn tail: got %v, want ErrCorrupt on reopen", err)
+	}
+
+	fixed := t.TempDir()
+	tornLog(t, fixed, recs)
+	if err := rotate(fixed, true); err != nil {
+		t.Fatalf("rotation after TruncateTail: %v", err)
+	}
+	l, err := Open(fixed, WithKeepSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, info := replayAll(t, l, 0)
+	if info.Truncated || !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replay after rotation: info=%+v records=%d", info, len(got))
+	}
+}
+
+func TestInstallCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Format: FormatVersion, ID: ID{VT: 10000, Seq: 10}, Rounds: 5, State: []byte(`{"x":1}`)}
+
+	if err := l.InstallCheckpoint(&Checkpoint{ID: ck.ID}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad format: got %v, want ErrCorrupt", err)
+	}
+	if err := l.InstallCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 10 || l.Checkpoint() == nil || l.Checkpoint().ID != ck.ID {
+		t.Fatalf("after install: lastSeq=%d ckpt=%+v", l.LastSeq(), l.Checkpoint())
+	}
+	// Installing twice is refused: the log is no longer empty.
+	if err := l.InstallCheckpoint(ck); err == nil {
+		t.Fatal("second install accepted")
+	}
+
+	// A writer opened after install bases its first segment at the
+	// checkpoint seq, so appends continue the replicated history.
+	w, err := l.OpenWriter(testMeta(), ID{VT: 10000, Seq: 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Type: TypeEvent, ID: ID{VT: 11000, Seq: 11}, Rounds: 5,
+		Event: &EventRecord{EventID: 11, Kind: "submitted", BatchSize: 1}}
+	appendAll(t, w, []*Record{rec})
+	w.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after install+append: %v", err)
+	}
+	if l2.Checkpoint() == nil || l2.Checkpoint().ID.Seq != 10 {
+		t.Fatalf("checkpoint lost: %+v", l2.Checkpoint())
+	}
+	got, _ := replayAll(t, l2, 10)
+	if len(got) != 1 || got[0].ID.Seq != 11 {
+		t.Fatalf("replay past checkpoint: %+v", got)
+	}
+
+	// Install into a log holding records is refused.
+	fullDir := t.TempDir()
+	full, err := Open(fullDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err = full.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, testRecords(2))
+	w.Close()
+	full, err = Open(fullDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.InstallCheckpoint(ck); err == nil {
+		t.Fatal("install into non-empty log accepted")
+	}
+}
+
+// emitAll collects (frame copy, record) pairs from EmitFrames.
+func emitAll(t *testing.T, segs []SegmentInfo, afterSeq, upTo int64) ([]*Record, [][]byte) {
+	t.Helper()
+	var recs []*Record
+	var frames [][]byte
+	err := EmitFrames(segs, afterSeq, upTo, func(frame []byte, rec *Record) error {
+		frames = append(frames, append([]byte(nil), frame...))
+		cp := *rec
+		recs = append(recs, &cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("EmitFrames(%d, %d]: %v", afterSeq, upTo, err)
+	}
+	return recs, frames
+}
+
+func TestEmitFrames(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(12)
+
+	// Three segments: records 1-4, rotate@4, 5-8, rotate@8, 9-12.
+	l, err := Open(dir, WithKeepSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := l.OpenWriter(testMeta(), ID{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[:4])
+	if w, err = l.Rotate(w, nil, ID{VT: 4000, Seq: 4}, 2); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[4:8])
+	if w, err = l.Rotate(w, nil, ID{VT: 8000, Seq: 8}, 4); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, recs[8:12])
+
+	// Rescan so every FrameEnds table reflects the bytes on disk.
+	scanned, err := Open(dir, WithKeepSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := append([]SegmentInfo(nil), scanned.Segments()...)
+
+	// Full range: every record, frame bytes identical to a re-encode.
+	got, frames := emitAll(t, segs, 0, 12)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("full emit: %d records", len(got))
+	}
+	for i, rec := range recs {
+		want, err := AppendFrame(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frames[i], want) {
+			t.Fatalf("frame %d bytes differ from canonical encoding", i)
+		}
+	}
+
+	// Mid-segment resume exercises the FrameEnds seek, and a resume at a
+	// segment boundary skips the earlier segments entirely.
+	for _, tc := range []struct{ after, upTo int64 }{{5, 9}, {4, 12}, {8, 11}, {11, 12}, {12, 12}} {
+		got, _ := emitAll(t, segs, tc.after, tc.upTo)
+		want := recs[tc.after:tc.upTo]
+		if int64(len(got)) != tc.upTo-tc.after || (len(got) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("emit (%d, %d]: got %d records", tc.after, tc.upTo, len(got))
+		}
+	}
+
+	// A stale snapshot: the final segment grew past the scanned
+	// FrameEnds. Frames beyond the scan are read sequentially.
+	grown := testRecords(14)[12:]
+	appendAll(t, w, grown)
+	w.Close()
+	got, _ = emitAll(t, segs, 10, 14)
+	if len(got) != 4 || got[0].ID.Seq != 11 || got[3].ID.Seq != 14 {
+		t.Fatalf("stale-snapshot emit: %+v", got)
+	}
+
+	// A torn tail past the requested range is not an error...
+	segPath := segs[len(segs)-1].Path
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath, append(data, 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = emitAll(t, segs, 0, 14)
+	if len(got) != 14 {
+		t.Fatalf("emit with torn tail: %d records", len(got))
+	}
+	// ...but asking past the last durable frame is.
+	if err := EmitFrames(segs, 0, 20, func([]byte, *Record) error { return nil }); err == nil {
+		t.Fatal("emit past log end: want error")
+	}
+}

@@ -318,6 +318,84 @@ func replaySegment(seg *SegmentInfo, afterSeq int64, fn func(*Record) error, inf
 	return nil
 }
 
+// TruncateTail physically truncates the newest segment to its last
+// valid frame boundary (the final FrameEnds offset), discarding the
+// torn tail a crash mid-append can leave behind. It returns the number
+// of bytes removed.
+//
+// Scan tolerates a torn tail only on the last segment, and OpenWriter
+// truncates it before appending — but a replication follower advertises
+// its resume point and can receive a checkpoint announcement (which
+// rotates to a fresh segment) before it ever appends. Without this
+// call, the torn bytes would survive the rotation inside a now
+// non-final segment and the next Open would refuse the directory with
+// ErrCorrupt. Follower resume therefore truncates to the last acked
+// FrameEnds boundary before handshaking.
+func (l *Log) TruncateTail() (int64, error) {
+	if len(l.segments) == 0 {
+		return 0, nil
+	}
+	seg := &l.segments[len(l.segments)-1]
+	valid := int64(0)
+	if n := len(seg.FrameEnds); n > 0 {
+		valid = seg.FrameEnds[n-1]
+	}
+	fi, err := os.Stat(seg.Path)
+	if err != nil {
+		return 0, err
+	}
+	removed := fi.Size() - valid
+	if removed <= 0 {
+		seg.Truncated = false
+		return 0, nil
+	}
+	f, err := os.OpenFile(seg.Path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := f.Truncate(valid); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	seg.Truncated = false
+	return removed, nil
+}
+
+// InstallCheckpoint bootstraps an empty log from a checkpoint shipped
+// by a replication leader: the document is durably written as the
+// log's own checkpoint and the sequence floor advances to the seq it
+// covers, so a writer opened afterwards starts a segment based there.
+// Installing into a log that already holds records or a checkpoint is
+// refused — a behind follower must be wiped, never spliced.
+func (l *Log) InstallCheckpoint(ck *Checkpoint) error {
+	if !l.Empty() {
+		return fmt.Errorf("wal: install checkpoint into non-empty log (last seq %d)", l.lastSeq)
+	}
+	if ck.Format != FormatVersion {
+		return fmt.Errorf("%w: checkpoint format %d, want %d", ErrCorrupt, ck.Format, FormatVersion)
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(l.dir, checkpointName, data); err != nil {
+		return err
+	}
+	if l.keep {
+		archive := fmt.Sprintf("checkpoint-%016x.json", ck.ID.Seq)
+		if err := writeFileAtomic(l.dir, archive, data); err != nil {
+			return err
+		}
+	}
+	cp := *ck
+	l.ckpt = &cp
+	l.lastSeq = ck.ID.Seq
+	return nil
+}
+
 // OpenWriter opens the newest segment for appending, creating the first
 // segment (with a leading meta record) on a fresh log. A torn tail is
 // truncated away first, so appends always extend the last valid frame.

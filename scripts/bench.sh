@@ -8,6 +8,10 @@
 # `scripts/bench.sh latency_profile` runs only the end-to-end latency
 # profile (span-instrumented loadgen + trace report check) and merges
 # the result into today's BENCH_<date>.json.
+#
+# `scripts/bench.sh failover` runs only the leader/follower failover
+# soak (real daemons, SIGKILL, promotion) and merges the result the
+# same way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,6 +51,134 @@ PY
   fi
   rm -f "$span_file"
 }
+
+# Failover soak: a real leader daemon replicating its WAL to a real
+# warm-follower daemon, the log grown well past the checkpoint interval
+# (the design target is >=10x), the leader SIGKILLed mid-commit, the
+# follower promoted. Records the promotion latency next to the follower
+# lag that bounds it — failover cost must track replication lag, not
+# log length, because the follower has already folded the log
+# (FAILOVER_RATE=0 skips the block).
+FAILOVER_RATE="${FAILOVER_RATE:-1000}"
+FAILOVER_DURATION="${FAILOVER_DURATION:-3s}"
+FAILOVER_CKPT="${FAILOVER_CKPT:-32}"
+failover=null
+
+# daemon_line waits for a startup line with the given prefix in a
+# daemon's log and prints its suffix (the bound address).
+daemon_line() {
+  local file=$1 prefix=$2 i s
+  for i in $(seq 200); do
+    s=$(sed -n "s|^$prefix||p" "$file" 2>/dev/null | head -1)
+    if [ -n "$s" ]; then printf '%s\n' "$s"; return 0; fi
+    sleep 0.05
+  done
+  echo "bench.sh: daemon never printed '$prefix' (see $file)" >&2
+  return 1
+}
+
+run_failover() {
+  [ "$FAILOVER_RATE" = 0 ] && return 0
+  local dir laddr faddr fmet lag_at_kill leader_pid follower_pid
+  dir=$(mktemp -d)
+  go build -o "$dir/updated" ./cmd/updated
+
+  "$dir/updated" -addr 127.0.0.1:0 -k 4 -util 0.3 -seed 1 \
+    -wal-dir "$dir/wal-leader" -wal-sync group -wal-checkpoint-every "$FAILOVER_CKPT" \
+    >"$dir/leader.log" 2>&1 &
+  leader_pid=$!
+  laddr=$(daemon_line "$dir/leader.log" "updated: listening on ") || { rm -rf "$dir"; return 0; }
+
+  "$dir/updated" -addr 127.0.0.1:0 -k 4 -util 0.3 -seed 1 \
+    -telemetry-addr 127.0.0.1:0 \
+    -wal-dir "$dir/wal-follower" -wal-sync group -wal-checkpoint-every "$FAILOVER_CKPT" \
+    -follow "$laddr" \
+    >"$dir/follower.log" 2>&1 &
+  follower_pid=$!
+  faddr=$(daemon_line "$dir/follower.log" "updated: listening on ") || {
+    kill -9 "$leader_pid" 2>/dev/null || true; rm -rf "$dir"; return 0; }
+  fmet=$(daemon_line "$dir/follower.log" "updated: telemetry on ")
+
+  # Load the leader; every accepted event is group-committed through
+  # the synced follower before its ack, so the follower's fold tracks
+  # the log end within the replication lag being measured.
+  go run ./cmd/loadgen -addr "$laddr" -rate "$FAILOVER_RATE" -duration "$FAILOVER_DURATION" \
+    -batch 32 -conns 4 -retries 3 -json >"$dir/load.json" 2>/dev/null || echo null >"$dir/load.json"
+
+  lag_at_kill=$(FMET="$fmet" python3 -c '
+import os, urllib.request
+body = urllib.request.urlopen(os.environ["FMET"], timeout=5).read().decode()
+for line in body.splitlines():
+    if line.startswith("netupdate_repl_lag_records "):
+        print(line.split()[1]); break
+else:
+    print(0)' 2>/dev/null || echo 0)
+
+  kill -9 "$leader_pid" 2>/dev/null || true
+  wait "$leader_pid" 2>/dev/null || true
+  go run ./cmd/updatectl -addr "$faddr" repl promote >"$dir/promote.log" || {
+    kill -9 "$follower_pid" 2>/dev/null || true; rm -rf "$dir"; return 0; }
+
+  failover=$(FMET="$fmet" LAG_AT_KILL="$lag_at_kill" CKPT="$FAILOVER_CKPT" \
+    LOAD_JSON="$dir/load.json" python3 - <<'PY'
+import json, os, urllib.request
+body = urllib.request.urlopen(os.environ["FMET"], timeout=5).read().decode()
+m = {}
+for line in body.splitlines():
+    if line and not line.startswith("#"):
+        parts = line.split()
+        if len(parts) == 2:
+            m[parts[0]] = parts[1]
+def num(name, default=0):
+    try:
+        return int(float(m.get(name, default)))
+    except ValueError:
+        return default
+try:
+    load = json.load(open(os.environ["LOAD_JSON"])) or {}
+except Exception:
+    load = {}
+out = {
+    "failover_ms": num("netupdate_repl_failover_ms"),
+    "lag_p99_records": num('netupdate_repl_lag_records_q{q="0.99"}'),
+    "lag_at_kill_records": int(float(os.environ["LAG_AT_KILL"] or 0)),
+    "wal_last_seq": num("netupdate_wal_last_seq"),
+    "checkpoint_seq": num("netupdate_wal_checkpoint_seq"),
+    "checkpoint_every": int(os.environ["CKPT"]),
+    "accepted_per_sec": round(load.get("accepted_per_sec", 0), 1),
+}
+print(json.dumps(out))
+PY
+  ) || failover=null
+
+  kill -9 "$follower_pid" 2>/dev/null || true
+  wait "$follower_pid" 2>/dev/null || true
+  rm -rf "$dir"
+}
+
+if [ "${1:-}" = "failover" ]; then
+  run_failover
+  if [ "$failover" = null ]; then
+    echo "bench.sh: failover run failed" >&2
+    exit 1
+  fi
+  OUT="$OUT" PROFILE="$failover" python3 - <<'PY'
+import json, os
+path, profile = os.environ["OUT"], json.loads(os.environ["PROFILE"])
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {}
+doc["failover"] = profile
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"merged failover into {path}")
+PY
+  printf '%s\n' "$failover"
+  exit 0
+fi
 
 if [ "${1:-}" = "latency_profile" ]; then
   run_latency_profile
@@ -118,6 +250,7 @@ if [ "$WAL_RATE" != 0 ] && [ "$SOAK_RATE" != 0 ]; then
   rm -rf "$wal_dir"
 fi
 run_latency_profile
+run_failover
 
 wal_summary=null
 if [ "$wal_soak" != null ]; then
@@ -187,6 +320,7 @@ fi
   printf '%s\n' "$codec_v2" | sed 's/^/  /'
   printf '  }\n'
   printf '  ,"latency_profile": %s\n' "$latency_profile"
+  printf '  ,"failover": %s\n' "$failover"
   printf '  ,"wal_recovery": {\n'
   printf '  "summary": %s\n' "$wal_summary"
   printf '  ,"soak":\n'

@@ -133,3 +133,47 @@ if rel > tolerance:
     print(f"bench_guard: LATENCY REGRESSION beyond {tolerance}x", file=sys.stderr)
     sys.exit(1)
 PY
+
+# Failover gate: re-runs the leader/follower failover soak and compares
+# promotion latency against the pinned baseline's failover block. Like
+# the latency gate it only arms when the baseline carries the block, so
+# pinning a pre-replication baseline leaves it dormant. Promotion is a
+# drain-plus-fsync, so wall-clock noise dominates small absolute values;
+# the gate uses a floor (FAILOVER_FLOOR_MS, default 50) under which any
+# result passes, and a wide ratio above it (FAILOVER_TOLERANCE, 3.0x).
+# FAILOVER_RATE=0 disables the re-run.
+FAILOVER_RATE="${FAILOVER_RATE:-1000}"
+FAILOVER_TOLERANCE="${FAILOVER_TOLERANCE:-3.0}"
+FAILOVER_FLOOR_MS="${FAILOVER_FLOOR_MS:-50}"
+base_failover_ms=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+fo = doc.get("failover") or {}
+print(fo.get("failover_ms", ""))' "$BASELINE")
+if [ -z "$base_failover_ms" ] || [ "$FAILOVER_RATE" = 0 ]; then
+  echo "bench_guard: baseline has no failover block; failover gate skipped"
+  exit 0
+fi
+fo_json=$(FAILOVER_RATE="$FAILOVER_RATE" scripts/bench.sh failover 2>/dev/null | tail -1) || fo_json=null
+if [ "$fo_json" = null ] || [ -z "$fo_json" ]; then
+  echo "bench_guard: failover run failed; failover gate skipped" >&2
+  exit 0
+fi
+FO_JSON="$fo_json" python3 - "$base_failover_ms" "$FAILOVER_TOLERANCE" "$FAILOVER_FLOOR_MS" <<'PY'
+import json, os, sys
+
+base_ms, tolerance, floor_ms = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+fo = json.loads(os.environ["FO_JSON"])
+cur_ms = float(fo.get("failover_ms", 0))
+if cur_ms <= floor_ms:
+    print(f"bench_guard: failover {cur_ms:.0f}ms under the {floor_ms:.0f}ms floor (ok)")
+    sys.exit(0)
+if base_ms <= 0:
+    base_ms = floor_ms
+rel = cur_ms / max(base_ms, floor_ms)
+verdict = "FAIL" if rel > tolerance else "ok"
+print(f"bench_guard: failover {cur_ms:.0f}ms vs baseline {base_ms:.0f}ms: {rel:.2f}x ({verdict})")
+if rel > tolerance:
+    print(f"bench_guard: FAILOVER REGRESSION beyond {tolerance}x", file=sys.stderr)
+    sys.exit(1)
+PY
