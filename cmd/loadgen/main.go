@@ -9,6 +9,7 @@
 //	loadgen -addr host:7421 -rate 500 -duration 10s [-conns 4] [-batch 16]
 //	loadgen -selfhost -rate 2000 -duration 5s -watermark 64 -json
 //	loadgen -selfhost -codec v1 -rate 500 -duration 5s   # JSON v1 fallback
+//	loadgen -selfhost -shards 4 -k 8 -rate 2000 -duration 5s  # sharded control plane
 //
 // With -addr, events target an already-running daemon; host endpoints
 // are discovered from its snapshot. With -selfhost, loadgen spins up an
@@ -57,6 +58,7 @@ import (
 	"netupdate/internal/obs"
 	"netupdate/internal/routing"
 	"netupdate/internal/sched"
+	"netupdate/internal/shard"
 	"netupdate/internal/sim"
 	"netupdate/internal/topology"
 	"netupdate/internal/trace"
@@ -155,8 +157,18 @@ func run(args []string, stdout io.Writer) int {
 		watermark = fs.Int("watermark", ctl.DefaultHighWatermark, "selfhost: queue high-watermark")
 		walDir    = fs.String("wal-dir", "", "selfhost: write-ahead log directory (empty = off); reopening a directory recovers first")
 		walSync   = fs.String("wal-sync", "group", "selfhost: WAL durability policy (always, group, off)")
+		shards    = fs.Int("shards", 1, "selfhost: partition the controller into this many pod-sharded engines behind an in-process gateway")
+		crossFrac = fs.Float64("cross-pool-frac", 0, "selfhost: core capacity fraction reserved for cross-shard events (0 = default 0.25; -shards > 1 only)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *shards > 1 && !*selfhost {
+		fmt.Fprintln(os.Stderr, "loadgen: -shards requires -selfhost (point -addr at a sharded daemon instead)")
+		return 2
+	}
+	if *shards > 1 && *spanFile != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -spans is per-engine; not supported with -shards")
 		return 2
 	}
 	if (*addr == "") == !*selfhost {
@@ -201,13 +213,24 @@ func run(args []string, stdout io.Writer) int {
 			}()
 			spanSink = obs.NewJSONLSink(f)
 		}
-		srv, laddr, err := startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed, *walDir, *walSync, spanSink)
+		var svc interface{ Close() error }
+		var laddr string
+		var err error
+		if *shards > 1 {
+			svc, laddr, err = startSelfhostSharded(shard.WorldConfig{
+				K: *k, Util: *util, Scheduler: *schedName, Alpha: *alpha, Seed: *seed,
+				Watermark: *watermark, Shards: *shards, CrossPoolFrac: *crossFrac,
+				WALDir: *walDir, WALSync: *walSync,
+			})
+		} else {
+			svc, laddr, err = startSelfhost(*schedName, *alpha, *k, *util, *watermark, *seed, *walDir, *walSync, spanSink)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: selfhost: %v\n", err)
 			return 1
 		}
 		defer func() {
-			if err := srv.Close(); err != nil {
+			if err := svc.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "loadgen: selfhost close: %v\n", err)
 			}
 		}()
@@ -376,6 +399,10 @@ func run(args []string, stdout io.Writer) int {
 			fmt.Fprintf(stdout, "server: %s scheduler, %d done, %d queued, ingest %d/%d/%d accepted/rejected/retried (watermark %d)\n",
 				s.Scheduler, s.EventsDone, s.EventsQueued,
 				s.IngestAccepted, s.IngestRejected, s.IngestRetried, s.IngestWatermark)
+			if s.Shards > 1 {
+				fmt.Fprintf(stdout, "sharded: %d shards, cross-shard %d admitted / %d pool-rejected\n",
+					s.Shards, s.CrossEvents, s.CrossRejected)
+			}
 		}
 		if lb := sum.Latency; lb != nil {
 			fmt.Fprintf(stdout, "e2e latency p50 %.2fms p95 %.2fms p99 %.2fms p99.9 %.2fms (queue p99 %.2fms, rounds p99 %.2fms, %d spans dropped)\n",
@@ -547,6 +574,47 @@ func startSelfhost(schedName string, alpha, k int, util float64, watermark int, 
 		}
 	}()
 	return srv, l.Addr().String(), nil
+}
+
+// shardedSelfhost owns an in-process shard cluster plus the gateway
+// fronting it; Close tears the wire down before the engines.
+type shardedSelfhost struct {
+	cl *shard.Cluster
+	gw *shard.Gateway
+}
+
+func (s *shardedSelfhost) Close() error {
+	err := s.gw.Close()
+	if cerr := s.cl.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// startSelfhostSharded builds the -shards selfhost controller: the same
+// cluster-behind-a-gateway construction as `updated -shards N`, on an
+// ephemeral loopback port.
+func startSelfhostSharded(cfg shard.WorldConfig) (*shardedSelfhost, string, error) {
+	cl, err := shard.NewCluster(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	gw, err := shard.NewGateway(cl.Part, cl.Ref.Graph(), cl.Cross, cl.Backends())
+	if err != nil {
+		_ = cl.Close()
+		return nil, "", err
+	}
+	l, err := netpkg.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = cl.Close()
+		return nil, "", err
+	}
+	go func() {
+		if err := gw.Serve(l); err != nil && !errors.Is(err, ctl.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "loadgen: selfhost serve: %v\n", err)
+		}
+	}()
+	return &shardedSelfhost{cl: cl, gw: gw}, l.Addr().String(), nil
 }
 
 // latencyRecorder accumulates client-observed submit latencies across

@@ -123,6 +123,13 @@ func run(args []string, stdout io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "scheduler      %s\n", stats.Scheduler)
+		switch {
+		case stats.ShardID > 0:
+			fmt.Fprintf(stdout, "shard          %d of %d\n", stats.ShardID, stats.Shards)
+		case stats.Shards > 1:
+			fmt.Fprintf(stdout, "sharding       gateway over %d shards, cross-shard %d admitted / %d pool-rejected\n",
+				stats.Shards, stats.CrossEvents, stats.CrossRejected)
+		}
 		fmt.Fprintf(stdout, "utilization    %.3f\n", stats.Utilization)
 		fmt.Fprintf(stdout, "flows placed   %d\n", stats.FlowsPlaced)
 		fmt.Fprintf(stdout, "events queued  %d\n", stats.EventsQueued)
@@ -440,6 +447,9 @@ func walCmd(args []string, stdout io.Writer) int {
 		if m := log.Meta(); m != nil {
 			fmt.Fprintf(stdout, "meta        format %d, scheduler %s, seed %d, k=%d, util %.3f, watermark %d, tables %d\n",
 				m.Format, m.Scheduler, m.Seed, m.K, m.Util, m.Watermark, m.Tables)
+			if m.Shard > 0 {
+				fmt.Fprintf(stdout, "shard       %d of %d (log bound to this engine slot)\n", m.Shard, m.Shards)
+			}
 		} else {
 			fmt.Fprintln(stdout, "meta        (none: empty log)")
 		}

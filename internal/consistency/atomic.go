@@ -1,0 +1,36 @@
+package consistency
+
+import "fmt"
+
+// Participant is one party of an all-or-nothing multi-party operation.
+// Prepare tentatively applies (and must hold) the participant's share;
+// Commit makes it permanent; Abort returns the held share. After a
+// successful Prepare exactly one of Commit or Abort follows.
+type Participant interface {
+	Prepare() error
+	Commit()
+	Abort()
+}
+
+// Atomic runs a two-phase commit over the participants: every Prepare in
+// order, then — only if all succeeded — every Commit. The first Prepare
+// failure aborts the already-prepared participants in reverse order and
+// returns the failure, so a refused operation leaves no residue.
+//
+// This is the admission spine for cross-shard events: each touched
+// shard's reserved-pool ledger is a participant, and an event either
+// holds capacity on every shard it spans or on none.
+func Atomic(participants []Participant) error {
+	for i, p := range participants {
+		if err := p.Prepare(); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				participants[j].Abort()
+			}
+			return fmt.Errorf("consistency: prepare participant %d: %w", i, err)
+		}
+	}
+	for _, p := range participants {
+		p.Commit()
+	}
+	return nil
+}

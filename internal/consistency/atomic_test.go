@@ -1,0 +1,75 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+)
+
+// ledger is a test participant: a scalar pool debited by amt.
+type ledger struct {
+	avail    int
+	amt      int
+	prepared int
+	commits  int
+	aborts   int
+}
+
+func (l *ledger) Prepare() error {
+	if l.amt > l.avail {
+		return errors.New("insufficient")
+	}
+	l.avail -= l.amt
+	l.prepared++
+	return nil
+}
+
+func (l *ledger) Commit() { l.commits++ }
+
+func (l *ledger) Abort() {
+	l.avail += l.amt
+	l.aborts++
+}
+
+func TestAtomicCommitsAll(t *testing.T) {
+	a := &ledger{avail: 10, amt: 3}
+	b := &ledger{avail: 10, amt: 7}
+	if err := Atomic([]Participant{a, b}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if a.avail != 7 || b.avail != 3 {
+		t.Errorf("pools = %d,%d, want 7,3", a.avail, b.avail)
+	}
+	if a.commits != 1 || b.commits != 1 || a.aborts != 0 || b.aborts != 0 {
+		t.Errorf("commit/abort counts wrong: %+v %+v", a, b)
+	}
+}
+
+func TestAtomicAbortsPreparedOnFailure(t *testing.T) {
+	a := &ledger{avail: 10, amt: 3}
+	b := &ledger{avail: 10, amt: 4}
+	c := &ledger{avail: 2, amt: 5} // refuses
+	d := &ledger{avail: 10, amt: 1}
+	err := Atomic([]Participant{a, b, c, d})
+	if err == nil {
+		t.Fatal("Atomic succeeded past an exhausted participant")
+	}
+	// Everything before the failure was aborted; nothing after it ran.
+	if a.avail != 10 || b.avail != 10 || c.avail != 2 || d.avail != 10 {
+		t.Errorf("pools = %d,%d,%d,%d, want all restored", a.avail, b.avail, c.avail, d.avail)
+	}
+	if a.aborts != 1 || b.aborts != 1 || c.aborts != 0 || d.aborts != 0 {
+		t.Errorf("abort counts = %d,%d,%d,%d, want 1,1,0,0", a.aborts, b.aborts, c.aborts, d.aborts)
+	}
+	if a.commits+b.commits+c.commits+d.commits != 0 {
+		t.Error("a failed Atomic committed a participant")
+	}
+	if d.prepared != 0 {
+		t.Error("participant after the failure was prepared")
+	}
+}
+
+func TestAtomicEmpty(t *testing.T) {
+	if err := Atomic(nil); err != nil {
+		t.Fatalf("Atomic(nil): %v", err)
+	}
+}

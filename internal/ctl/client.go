@@ -31,6 +31,9 @@ type Client struct {
 	// carry a span context stamped at send time.
 	spanOn     bool
 	spanOrigin uint16
+	// shardOn: when enabled, submit/submit-batch requests ask for
+	// per-verdict shard attribution.
+	shardOn bool
 }
 
 // Dial connects to a controller at addr, speaking JSON v1.
@@ -131,12 +134,34 @@ func (c *Client) EnableSpans(origin uint16) {
 	c.mu.Unlock()
 }
 
+// EnableShardInfo asks for per-verdict shard attribution on every
+// subsequent submit and submit-batch request. On the binary codec the
+// request sets a flag bit (ignored by pre-shard servers, which answer
+// with plain verdicts); callers wanting a guarantee should confirm
+// FeatureShardVerdicts via Features first. JSON v1 servers simply omit
+// the field. Single-shard servers leave Shard zero either way.
+func (c *Client) EnableShardInfo() {
+	c.mu.Lock()
+	c.shardOn = true
+	c.mu.Unlock()
+}
+
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.spanOn && req.Span == nil && (req.Op == OpSubmit || req.Op == OpSubmitBatch) {
-		req.Span = &obs.SpanContext{Origin: c.spanOrigin, SubmitWallNs: time.Now().UnixNano()}
+	// The transport owns the wire version: a request forwarded from
+	// another connection (a gateway re-routing what it decoded) still
+	// carries that connection's version stamp, and a v2 stamp inside a
+	// JSON body would be rejected by the receiver's v1 parser.
+	req.Version = 0
+	if req.Op == OpSubmit || req.Op == OpSubmitBatch {
+		if c.spanOn && req.Span == nil {
+			req.Span = &obs.SpanContext{Origin: c.spanOrigin, SubmitWallNs: time.Now().UnixNano()}
+		}
+		if c.shardOn {
+			req.ShardInfo = true
+		}
 	}
 	var resp Response
 	if c.binary {
@@ -164,25 +189,45 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			return Response{}, fmt.Errorf("ctl: recv %s: %w", req.Op, err)
 		}
 	}
-	if !resp.OK {
-		// An overload rejection carries structured retry guidance: surface
-		// it as a typed error so callers can match errors.Is(err,
-		// ErrOverloaded) and back off by the hint.
-		if ov := resp.Overload; ov != nil {
-			return resp, &OverloadError{
-				QueueDepth: ov.QueueDepth,
-				Watermark:  ov.Watermark,
-				RetryAfter: ov.RetryAfter(),
-			}
-		}
-		// A role rejection is typed too: errors.Is(err, ErrNotLeader)
-		// with the leader's address as a redirect hint.
-		if nl := resp.NotLeader; nl != nil {
-			return resp, &NotLeaderError{Role: nl.Role, Term: nl.Term, LeaderAddr: nl.LeaderAddr}
-		}
-		return resp, fmt.Errorf("ctl: %s: %s", req.Op, resp.Error)
+	return resp, respError(req.Op, &resp)
+}
+
+// respError maps a failed response to the protocol's typed errors. It is
+// the one place the wire-level failure taxonomy is interpreted, shared by
+// the remote Client and the in-process Server's Backend methods.
+func respError(op Op, resp *Response) error {
+	if resp.OK {
+		return nil
 	}
-	return resp, nil
+	// An overload rejection carries structured retry guidance: surface
+	// it as a typed error so callers can match errors.Is(err,
+	// ErrOverloaded) and back off by the hint.
+	if ov := resp.Overload; ov != nil {
+		return &OverloadError{
+			QueueDepth: ov.QueueDepth,
+			Watermark:  ov.Watermark,
+			RetryAfter: ov.RetryAfter(),
+		}
+	}
+	// A role rejection is typed too: errors.Is(err, ErrNotLeader)
+	// with the leader's address as a redirect hint.
+	if nl := resp.NotLeader; nl != nil {
+		return &NotLeaderError{Role: nl.Role, Term: nl.Term, LeaderAddr: nl.LeaderAddr}
+	}
+	return fmt.Errorf("ctl: %s: %s", op, resp.Error)
+}
+
+// Do sends one raw request and returns the raw response, bypassing the
+// typed error mapping: a refusal comes back as Response{OK: false} with
+// the structured rejection payloads intact. A transport failure is
+// folded into the same shape so gateway-style callers fan in uniformly.
+func (c *Client) Do(req Request) Response {
+	resp, err := c.roundTrip(req)
+	if err != nil && resp.Error == "" && resp.Overload == nil && resp.NotLeader == nil {
+		// Transport failure: roundTrip returned a zero Response.
+		return Response{OK: false, Error: err.Error()}
+	}
+	return resp
 }
 
 // Ping checks the controller is alive.

@@ -61,6 +61,23 @@ const (
 	// Pre-span v2 servers reject the unexpected bytes, so clients only
 	// set it after the ping response advertised FeatureSpanContext.
 	reqFlagSpan byte = 1 << 1
+	// reqFlagShard asks the server to stamp each verdict of the response
+	// with its owning shard (verdict flag bit verdictFlagShard + u16).
+	// Pre-shard servers ignore unknown request flag bits, so a response
+	// to a flagged request from an old server simply omits the shard —
+	// clients therefore only set it after the ping response advertised
+	// FeatureShardVerdicts.
+	reqFlagShard byte = 1 << 2
+)
+
+// Verdict flag bits of the dense submit-batch response encoding. Bits 0
+// and 1 (OK, Overloaded) predate sharding; verdictFlagShard marks a
+// verdict followed by a u16 shard ID and is only ever set when the
+// request carried reqFlagShard, keeping shard-less frames byte-identical.
+const (
+	verdictFlagOK         byte = 1 << 0
+	verdictFlagOverloaded byte = 1 << 1
+	verdictFlagShard      byte = 1 << 2
 )
 
 // spanCtxWireSize is the encoded size of the flag-gated span context.
@@ -98,6 +115,9 @@ func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 		kind = binOpPing
 	case OpSubmitBatch:
 		kind = binOpSubmitBatch
+		if req.ShardInfo {
+			flags |= reqFlagShard
+		}
 		if req.Span != nil {
 			flags |= reqFlagSpan
 			buf = binary.LittleEndian.AppendUint16(buf, req.Span.Origin)
@@ -163,7 +183,11 @@ func parseBinaryRequest(data []byte) (*Request, error) {
 	}
 	payload := data[FrameHeaderSize:]
 
-	req := &Request{Version: ProtocolVersionBinary, Retry: flags&reqFlagRetry != 0}
+	req := &Request{
+		Version:   ProtocolVersionBinary,
+		Retry:     flags&reqFlagRetry != 0,
+		ShardInfo: flags&reqFlagShard != 0,
+	}
 	switch kind {
 	case binOpPing:
 		req.Op = OpPing
@@ -257,8 +281,19 @@ func decodeBatchPayload(p []byte) ([]EventSpec, error) {
 
 // AppendResponseFrame appends resp encoded as one binary v2 frame to
 // buf. Successful submit-batch responses use the dense verdict
-// encoding; everything else is a JSON envelope frame.
+// encoding; everything else is a JSON envelope frame. Verdict shard IDs
+// are never encoded — this is the pre-shard wire shape; servers
+// answering a shard-flagged request use AppendResponseFrameFor.
 func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
+	return AppendResponseFrameFor(buf, resp, false)
+}
+
+// AppendResponseFrameFor is AppendResponseFrame with explicit control
+// over the flag-gated shard extension: with wantShard set (the request
+// carried reqFlagShard), each verdict with a non-zero Shard gets the
+// verdictFlagShard bit and a trailing u16 shard ID. With it clear the
+// frame is byte-identical to a pre-shard build's.
+func AppendResponseFrameFor(buf []byte, resp *Response, wantShard bool) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, make([]byte, FrameHeaderSize)...)
 	var kind byte
@@ -268,12 +303,19 @@ func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 		for _, v := range resp.Verdicts {
 			var f byte
 			if v.OK {
-				f |= 1 << 0
+				f |= verdictFlagOK
 			}
 			if v.Overloaded {
-				f |= 1 << 1
+				f |= verdictFlagOverloaded
+			}
+			withShard := wantShard && v.Shard > 0
+			if withShard {
+				f |= verdictFlagShard
 			}
 			buf = append(buf, f)
+			if withShard {
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(v.Shard))
+			}
 			if v.OK {
 				buf = binary.LittleEndian.AppendUint64(buf, uint64(v.EventID))
 			} else {
@@ -361,7 +403,14 @@ func decodeVerdictsPayload(p []byte) (*Response, error) {
 		}
 		f := p[off]
 		off++
-		v := SubmitVerdict{OK: f&(1<<0) != 0, Overloaded: f&(1<<1) != 0}
+		v := SubmitVerdict{OK: f&verdictFlagOK != 0, Overloaded: f&verdictFlagOverloaded != 0}
+		if f&verdictFlagShard != 0 {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			v.Shard = int(binary.LittleEndian.Uint16(p[off:]))
+			off += 2
+		}
 		if v.OK {
 			if err := need(8); err != nil {
 				return nil, err

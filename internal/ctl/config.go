@@ -1,0 +1,69 @@
+package ctl
+
+import (
+	"fmt"
+
+	"netupdate/internal/core"
+	"netupdate/internal/obs"
+	"netupdate/internal/sched"
+	"netupdate/internal/sim"
+)
+
+// ShardIdentity places a server in a sharded deployment: shard ID (1-
+// based) of Count engines. The zero value is the unsharded default.
+type ShardIdentity struct {
+	ID    int
+	Count int
+}
+
+// Config collects everything a controller needs at construction. It
+// replaces the positional NewServer/NewServerWithWAL split: one struct,
+// one constructor, optional durability. The zero values of the optional
+// fields (Watermark, SpanSink, Shard, WAL) select the unsharded,
+// memory-only defaults.
+type Config struct {
+	// Planner owns the prepared network; Scheduler orders events; Sim is
+	// the virtual timing model. All three are required.
+	Planner   *core.Planner
+	Scheduler sched.Scheduler
+	Sim       sim.Config
+
+	// Watermark bounds the intake queue; <= 0 keeps
+	// DefaultHighWatermark.
+	Watermark int
+
+	// SpanSink, when set, receives stage-level latency span records (see
+	// WithSpanSink).
+	SpanSink obs.Sink
+
+	// Shard places this server in a sharded deployment (see WithShard).
+	Shard ShardIdentity
+
+	// WAL, when set, attaches a durable log: history is replayed at
+	// construction and every admitted mutation is appended before its
+	// ack (see NewServerWithWAL).
+	WAL *WALConfig
+}
+
+// New builds and starts a controller from one Config. The returned
+// RecoveryInfo is non-nil only when cfg.WAL was set and describes what
+// was replayed.
+func New(cfg Config) (*Server, *RecoveryInfo, error) {
+	if cfg.Planner == nil || cfg.Scheduler == nil {
+		return nil, nil, fmt.Errorf("ctl: Config needs Planner and Scheduler")
+	}
+	var opts []ServerOption
+	if cfg.Watermark > 0 {
+		opts = append(opts, WithHighWatermark(cfg.Watermark))
+	}
+	if cfg.SpanSink != nil {
+		opts = append(opts, WithSpanSink(cfg.SpanSink))
+	}
+	if cfg.Shard.ID > 0 {
+		opts = append(opts, WithShard(cfg.Shard.ID, cfg.Shard.Count))
+	}
+	if cfg.WAL == nil {
+		return NewServer(cfg.Planner, cfg.Scheduler, cfg.Sim, opts...), nil, nil
+	}
+	return NewServerWithWAL(cfg.Planner, cfg.Scheduler, cfg.Sim, *cfg.WAL, opts...)
+}

@@ -136,6 +136,13 @@ type Request struct {
 	// feature in the ping response before attaching it on the binary
 	// codec.
 	Span *obs.SpanContext `json:"span,omitempty"`
+	// ShardInfo asks the server to encode each verdict's owning shard on
+	// the binary codec (flag-gated, see reqFlagShard). It never appears
+	// on the JSON wire — JSON verdicts are self-describing through the
+	// omitempty shard field — so v1 frames stay byte-identical. Clients
+	// enable it only after the ping response advertised
+	// FeatureShardVerdicts.
+	ShardInfo bool `json:"-"`
 }
 
 // ParseRequest decodes and shape-checks one request frame, in either
@@ -312,6 +319,16 @@ type Stats struct {
 	ReplRecordsApplied int64  `json:"repl_records_applied,omitempty"`
 	ReplFollowerDrops  int64  `json:"repl_follower_drops,omitempty"`
 	ReplFailoverMs     int64  `json:"repl_failover_ms,omitempty"`
+	// Sharding telemetry (all zero outside a sharded deployment). On a
+	// per-shard engine, ShardID is its 1-based identity and Shards the
+	// fleet size; on a gateway, ShardID is 0 and Shards the number of
+	// backends the stats were aggregated across. The cross counters are
+	// gateway-side: events that spanned multiple shards, and those
+	// rejected because the reserved cross-shard core pool ran dry.
+	ShardID       int   `json:"shard_id,omitempty"`
+	Shards        int   `json:"shards,omitempty"`
+	CrossEvents   int64 `json:"cross_events,omitempty"`
+	CrossRejected int64 `json:"cross_rejected,omitempty"`
 }
 
 // SubmitVerdict is one event's outcome within an OpSubmitBatch
@@ -325,6 +342,11 @@ type SubmitVerdict struct {
 	// Overloaded marks a rejection caused purely by backpressure: the
 	// event was well-formed and can be resubmitted after the hint.
 	Overloaded bool `json:"overloaded,omitempty"`
+	// Shard is the 1-based shard that admitted (or rejected) the event in
+	// a sharded deployment; zero on a single-shard server, so pre-shard
+	// responses are byte-identical (omitempty here, flag-gated on the
+	// binary codec).
+	Shard int `json:"shard,omitempty"`
 }
 
 // OverloadInfo is the backpressure detail attached to any response that
@@ -432,6 +454,13 @@ type NotLeaderInfo struct {
 // decodes the span-context field on submit requests — including the
 // flag-gated binary prefix, which pre-span v2 peers would reject.
 const FeatureSpanContext = "span-ctx"
+
+// FeatureShardVerdicts advertises (in the ping response) that the
+// server understands the shard-info request flag and will stamp each
+// submit-batch verdict with its owning shard on the binary codec.
+// Without the flag (or on JSON, where the field is omitempty) frames
+// stay byte-identical to pre-shard builds.
+const FeatureShardVerdicts = "shard-verdicts"
 
 // Protocol-level errors.
 var (

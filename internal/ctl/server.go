@@ -1,12 +1,7 @@
 package ctl
 
 import (
-	"bufio"
-	"encoding/binary"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -81,19 +76,29 @@ type Server struct {
 	repl    *replState
 	replCfg *ReplicationConfig
 
-	cmds    chan command
-	closing chan struct{}
+	// shardID and idStride place this engine in a sharded deployment:
+	// shard s of N mints event IDs s, s+N, s+2N, … so IDs are globally
+	// unique across the fleet and a gateway can route status lookups by
+	// (id-1) mod N. Unsharded servers keep shardID 0, stride 1 — the
+	// historical ID sequence.
+	shardID  int
+	idStride int64
+
+	// wire owns the accept loop, open-connection set and codec handling;
+	// closing mirrors its shutdown channel for the state loop and the
+	// replication goroutines.
+	wire    *WireServer
+	closing <-chan struct{}
+
+	cmds chan command
 	// loopStop tells the state loop's shutdown drain that every
 	// connection handler has exited, so no further command can arrive
-	// and the loop may return. Closed by Close after conns.Wait.
+	// and the loop may return. Closed by Close after the wire drains.
 	loopStop chan struct{}
 	loop     sync.WaitGroup // state loop
-	conns    sync.WaitGroup // connection handlers
 
-	mu       sync.Mutex
-	listener net.Listener
-	open     map[net.Conn]struct{}
-	closed   bool
+	mu     sync.Mutex
+	closed bool
 }
 
 // command is one request routed to the state loop.
@@ -153,8 +158,27 @@ func WithHighWatermark(n int) ServerOption {
 	}
 }
 
+// WithShard places the server in a sharded deployment as shard id (1-
+// based) of count engines: event IDs stride by count starting at id, so
+// every shard mints from a disjoint ID lattice, submit verdicts carry
+// the shard, and the WAL meta records the placement. id/count outside
+// 1 <= id <= count are ignored (the unsharded default).
+func WithShard(id, count int) ServerOption {
+	return func(s *Server) {
+		if id < 1 || count < 1 || id > count {
+			return
+		}
+		s.shardID = id
+		s.idStride = int64(count)
+		s.nextID = int64(id)
+	}
+}
+
 // NewServer wraps a planner (owning a prepared network) and a scheduler.
 // cfg is the virtual timing model used to compute per-event metrics.
+//
+// Deprecated: use New with a Config; this remains as a thin wrapper for
+// existing callers.
 func NewServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config, opts ...ServerOption) *Server {
 	s := newServer(planner, scheduler, cfg, opts...)
 	s.start()
@@ -176,16 +200,24 @@ func newServer(planner *core.Planner, scheduler sched.Scheduler, cfg sim.Config,
 		watermark: DefaultHighWatermark,
 		events:    make(map[int64]*core.Event),
 		nextID:    1,
+		idStride:  1,
 		cmds:      make(chan command, cmdBacklog),
-		closing:   make(chan struct{}),
 		loopStop:  make(chan struct{}),
-		open:      make(map[net.Conn]struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.ingest = obs.NewIngestMetrics(s.registry)
 	s.ingest.Watermark.Set(int64(s.watermark))
+	s.wire = &WireServer{
+		Handle:      s.dispatchAt,
+		Stream:      s.serveRepl,
+		StreamMagic: repl.StreamMagic,
+		FramesV1:    s.ingest.FramesV1,
+		FramesV2:    s.ingest.FramesV2,
+		CodecConns:  s.ingest.CodecV2Conns,
+	}
+	s.closing = s.wire.Closing()
 	// Attach the tracer before the state loop starts so the engine never
 	// sees a concurrent SetTracer.
 	s.engine.SetTracer(obs.NewTracer(s.ring, obs.NewSimMetrics(s.registry)))
@@ -216,47 +248,12 @@ func (s *Server) Registry() *obs.Registry { return s.registry }
 // Serve accepts connections on l until Close. It returns ErrServerClosed
 // after a clean shutdown.
 func (s *Server) Serve(l net.Listener) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrServerClosed
-	}
-	s.listener = l
-	s.mu.Unlock()
-
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			select {
-			case <-s.closing:
-				return ErrServerClosed
-			default:
-				return fmt.Errorf("ctl: accept: %w", err)
-			}
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			if cerr := conn.Close(); cerr != nil {
-				return fmt.Errorf("ctl: closing late conn: %w", cerr)
-			}
-			return ErrServerClosed
-		}
-		s.open[conn] = struct{}{}
-		s.mu.Unlock()
-
-		s.conns.Add(1)
-		go s.handleConn(conn)
-	}
+	return s.wire.Serve(l)
 }
 
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("ctl: listen: %w", err)
-	}
-	return s.Serve(l)
+	return s.wire.ListenAndServe(addr)
 }
 
 // Close stops accepting, closes open connections, and waits for the state
@@ -268,26 +265,13 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	close(s.closing)
-	var firstErr error
-	if s.listener != nil {
-		firstErr = s.listener.Close()
-	}
-	for conn := range s.open {
-		// A replication session may have already closed its own conn
-		// (follower detach, ack-reader failure); that is its normal end
-		// state, not a close failure.
-		if err := conn.Close(); err != nil && firstErr == nil && !errors.Is(err, net.ErrClosed) {
-			firstErr = err
-		}
-	}
 	s.mu.Unlock()
 
 	// Handlers may still have commands buffered in s.cmds; the state loop
 	// keeps answering them (with ErrServerClosed) until every handler has
-	// exited. Only then is it safe to let the loop return: afterwards
-	// nobody is left to send.
-	s.conns.Wait()
+	// exited — wire.Close waits for that. Only then is it safe to let the
+	// loop return: afterwards nobody is left to send.
+	firstErr := s.wire.Close()
 	// Replication goroutines (the follower stream, the heartbeater) also
 	// send commands, so they too must be gone before the loop may stop.
 	if s.repl != nil {
@@ -313,131 +297,14 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
-// handleConn serves one client. The codec is per-connection, detected
-// from the first byte: FrameMagic opens a binary v2 stream, anything
-// else a line-delimited JSON v1 stream. Detection must happen before
-// any json.Decoder touches the socket — the decoder reads ahead, so
-// per-frame codec switching on one connection is impossible.
-func (s *Server) handleConn(conn net.Conn) {
-	defer s.conns.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.open, conn)
-		s.mu.Unlock()
-		_ = conn.Close() // double-close on shutdown path is harmless
-	}()
-
-	br := bufio.NewReader(conn)
-	first, err := br.Peek(1)
-	if err != nil {
-		return
-	}
-	if first[0] == FrameMagic {
-		s.serveBinary(conn, br)
-		return
-	}
-	if first[0] == repl.StreamMagic {
-		s.serveRepl(conn, br)
-		return
-	}
-	s.serveJSON(conn, br)
-}
-
-// serveJSON answers a stream of JSON requests, one JSON response each.
-func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
-	dec := json.NewDecoder(br)
-	enc := json.NewEncoder(conn)
-	for {
-		var raw json.RawMessage
-		if err := dec.Decode(&raw); err != nil {
-			return // EOF, closed connection, or unframeable garbage: drop
-		}
-		req, err := ParseRequest(raw)
-		if err != nil {
-			// Well-framed JSON but a bad request: answer the error and
-			// keep the connection.
-			if encErr := enc.Encode(Response{OK: false, Error: err.Error()}); encErr != nil {
-				return
-			}
-			continue
-		}
-		s.ingest.FramesV1.Inc()
-		resp := s.dispatch(*req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
-// serveBinary answers a stream of binary v2 frames. Responses are
-// buffered and flushed only before a read would block, so a pipelining
-// client streaming many frames gets its responses in large writes
-// without a flush (or a round-trip stall) per request.
-func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
-	s.ingest.CodecV2Conns.Add(1)
-	defer s.ingest.CodecV2Conns.Add(-1)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	header := make([]byte, FrameHeaderSize)
-	var frame, out []byte
-	for {
-		// Flush pending responses before a blocking read: if the client
-		// has nothing more buffered for us, it is waiting on an answer.
-		if bw.Buffered() > 0 && br.Buffered() == 0 {
-			if err := bw.Flush(); err != nil {
-				return
-			}
-		}
-		if _, err := io.ReadFull(br, header); err != nil {
-			return
-		}
-		n := binary.LittleEndian.Uint32(header[4:8])
-		if header[0] != FrameMagic || n > MaxFramePayload {
-			// The stream cannot be resynchronized past a corrupt header;
-			// answer the error and drop the connection.
-			if out, err := AppendResponseFrame(out[:0], &Response{
-				OK: false, Error: fmt.Sprintf("%v: bad frame header", ErrBadRequest),
-			}); err == nil {
-				_, _ = bw.Write(out)
-			}
-			_ = bw.Flush()
-			return
-		}
-		need := FrameHeaderSize + int(n)
-		if cap(frame) < need {
-			frame = make([]byte, need)
-		}
-		frame = frame[:need]
-		copy(frame, header)
-		if _, err := io.ReadFull(br, frame[FrameHeaderSize:]); err != nil {
-			return
-		}
-		req, err := ParseRequest(frame)
-		if err != nil {
-			// A framed but invalid request (bad version byte, unknown op,
-			// bad payload): answer the error, keep the connection.
-			out, err = AppendResponseFrame(out[:0], &Response{OK: false, Error: err.Error()})
-			if err != nil {
-				return
-			}
-			if _, err := bw.Write(out); err != nil {
-				return
-			}
-			continue
-		}
-		s.ingest.FramesV2.Inc()
-		resp := s.dispatch(*req)
-		out, err = AppendResponseFrame(out[:0], &resp)
-		if err != nil {
-			return
-		}
-		if _, err := bw.Write(out); err != nil {
-			return
-		}
-	}
-}
-
 // dispatch routes a request to the state loop and waits for the answer.
 func (s *Server) dispatch(req Request) Response {
+	return s.dispatchAt(req, time.Now().UnixNano())
+}
+
+// dispatchAt is dispatch with an explicit ingest wall stamp (the
+// WireServer stamps requests as they come off the wire).
+func (s *Server) dispatchAt(req Request, ingestWall int64) Response {
 	// Fast-fail once shutdown has begun, so new requests don't land in
 	// the command buffer just to be refused by the shutdown drain.
 	select {
@@ -445,7 +312,7 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: false, Error: ErrServerClosed.Error()}
 	default:
 	}
-	cmd := command{req: req, ingestWall: time.Now().UnixNano(), reply: make(chan Response, 1)}
+	cmd := command{req: req, ingestWall: ingestWall, reply: make(chan Response, 1)}
 	select {
 	case s.cmds <- cmd:
 		// A send that races shutdown is still answered: the state loop
@@ -621,7 +488,7 @@ func (s *Server) stageSubmit(req Request, ingestWall int64, staged *[]*core.Even
 			continue
 		}
 		id := s.nextID
-		s.nextID++
+		s.nextID += s.idStride
 		flows := make([]flow.Spec, len(specs[i].Flows))
 		for j, f := range specs[i].Flows {
 			flows[j] = flow.Spec{
@@ -639,7 +506,7 @@ func (s *Server) stageSubmit(req Request, ingestWall int64, staged *[]*core.Even
 		s.events[id] = ev
 		s.order = append(s.order, id)
 		*staged = append(*staged, ev)
-		verdicts[i] = SubmitVerdict{OK: true, EventID: id}
+		verdicts[i] = SubmitVerdict{OK: true, EventID: id, Shard: s.shardID}
 		accepted++
 		var sc obs.SpanContext
 		if req.Span != nil {
@@ -724,7 +591,7 @@ func (s *Server) handleRequest(req Request) Response {
 	case OpPing:
 		// Feature negotiation: clients probe here before enabling binary
 		// extensions a pre-feature server would reject.
-		return Response{OK: true, Features: []string{FeatureSpanContext}}
+		return Response{OK: true, Features: []string{FeatureSpanContext, FeatureShardVerdicts}}
 
 	case OpStatus:
 		ev, ok := s.events[req.EventID]
@@ -791,6 +658,10 @@ func (s *Server) handleRequest(req Request) Response {
 			LatencyRoundsP50Ns:      s.lat.Rounds.Percentile(50),
 			LatencyRoundsP99Ns:      s.lat.Rounds.Percentile(99),
 			SpansDropped:            s.lat.SpansDropped.Value(),
+		}
+		if s.shardID > 0 {
+			st.ShardID = s.shardID
+			st.Shards = int(s.idStride)
 		}
 		if s.walMet != nil {
 			st.WALEnabled = true

@@ -179,6 +179,9 @@ type checkpointDoc struct {
 // When cfg.Log holds no checkpoint, the planner's network must be in
 // the same genesis state the original run started from (same topology,
 // same background fill) — the replay folds the full log against it.
+//
+// Deprecated: use New with Config.WAL set; this remains as a thin
+// wrapper for existing callers.
 func NewServerWithWAL(planner *core.Planner, scheduler sched.Scheduler, simCfg sim.Config, cfg WALConfig, opts ...ServerOption) (*Server, *RecoveryInfo, error) {
 	s := newServer(planner, scheduler, simCfg, opts...)
 	info, err := s.initWAL(cfg)
@@ -203,11 +206,19 @@ func (s *Server) initWAL(cfg WALConfig) (*RecoveryInfo, error) {
 	if s.ckptEvery == 0 {
 		s.ckptEvery = DefaultCheckpointEvery
 	}
-	meta := cfg.Meta
-	if meta == nil {
-		meta = &wal.Meta{Format: wal.FormatVersion, Scheduler: s.scheduler, Watermark: s.watermark}
+	m := wal.Meta{Format: wal.FormatVersion, Scheduler: s.scheduler, Watermark: s.watermark}
+	if cfg.Meta != nil {
+		m = *cfg.Meta
 	}
-	s.walMeta = *meta
+	if s.shardID > 0 && m.Shard == 0 {
+		// A sharded engine stamps its placement into the log so recovery
+		// onto the wrong shard slot (different ID lattice) is refused by
+		// the meta check instead of diverging on replay.
+		m.Shard = s.shardID
+		m.Shards = int(s.idStride)
+	}
+	meta := &m
+	s.walMeta = m
 	// Reject a mismatched world before replaying anything into it: a log
 	// written under a different scheduler/seed/topology would not merely
 	// fail to converge, it would corrupt the recovery with plausible
@@ -616,7 +627,7 @@ func (s *Server) replayRecord(rec *wal.Record) error {
 		s.events[e.EventID] = ev
 		s.order = append(s.order, e.EventID)
 		s.engine.Enqueue(ev)
-		s.nextID++
+		s.nextID += s.idStride
 		s.ingest.Accepted.Inc()
 		if e.Retry {
 			s.ingest.Retried.Inc()

@@ -55,6 +55,11 @@ const (
 type Record struct {
 	Kind string `json:"k"`
 	VT   int64  `json:"vt"`
+	// Shard attributes the record to one engine of a sharded deployment
+	// (1-based). Engines emit it as zero — per-shard trace streams stay
+	// byte-identical to an unsharded run's — and the gateway stamps it
+	// when fanning per-shard traces into one aggregate stream.
+	Shard int `json:"shard,omitempty"`
 
 	Run     *RunRecord     `json:"run,omitempty"`
 	Arrival *ArrivalRecord `json:"arrival,omitempty"`

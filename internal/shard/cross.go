@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"netupdate/internal/consistency"
+	"netupdate/internal/topology"
+)
+
+// ErrCrossPoolExhausted is returned when a cross-shard event's demand
+// does not fit the reserved core pool of every shard it touches.
+var ErrCrossPoolExhausted = errors.New("shard: cross-shard core pool exhausted")
+
+// DefaultCrossPoolFrac is the fraction of each core link's capacity
+// reserved for cross-shard traffic when no override is given: each
+// shard's private world keeps (1-frac)/N of the core, and frac stays in
+// the gateway's ledgers for events that span shards.
+const DefaultCrossPoolFrac = 0.25
+
+// CrossAdmitter is the gateway's two-phase admission ledger for
+// cross-shard events. Each shard contributes one scalar pool — its
+// reserved slice of the shared core layer — and an event spanning
+// shards must debit its aggregate demand from every touched shard's
+// pool atomically (all shards or none, via consistency.Atomic) before
+// it is routed to its home engine. A debit is released only when the
+// home engine rejects the event; committed events hold their slice, the
+// reserved-pool analogue of a placed flow's reservation.
+type CrossAdmitter struct {
+	mu       sync.Mutex
+	avail    []int64 // index s-1: remaining pool on shard s
+	size     int64   // per-shard pool size at construction
+	admitted int64
+	rejected int64
+}
+
+// NewCrossAdmitter builds ledgers for n shards with perShard capacity
+// (bits per second) each.
+func NewCrossAdmitter(n int, perShard topology.Bandwidth) *CrossAdmitter {
+	c := &CrossAdmitter{avail: make([]int64, n), size: int64(perShard)}
+	for i := range c.avail {
+		c.avail[i] = int64(perShard)
+	}
+	return c
+}
+
+// pool is one shard's ledger as a two-phase participant. The admitter's
+// mutex is held across the whole Atomic call, so the participant itself
+// needs no locking.
+type pool struct {
+	avail *int64
+	amt   int64
+}
+
+func (p *pool) Prepare() error {
+	if p.amt > *p.avail {
+		return fmt.Errorf("%w: need %d, have %d", ErrCrossPoolExhausted, p.amt, *p.avail)
+	}
+	*p.avail -= p.amt
+	return nil
+}
+
+func (p *pool) Commit() {}
+
+func (p *pool) Abort() { *p.avail += p.amt }
+
+// Admit debits demand from every touched shard's pool, atomically: on
+// any shortfall nothing is held and ErrCrossPoolExhausted is returned.
+func (c *CrossAdmitter) Admit(touched []int, demand int64) error {
+	if demand < 0 {
+		return fmt.Errorf("shard: negative cross demand %d", demand)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := make([]consistency.Participant, len(touched))
+	for i, s := range touched {
+		if s < 1 || s > len(c.avail) {
+			return fmt.Errorf("shard: cross admission touching unknown shard %d", s)
+		}
+		parts[i] = &pool{avail: &c.avail[s-1], amt: demand}
+	}
+	if err := consistency.Atomic(parts); err != nil {
+		c.rejected++
+		return err
+	}
+	c.admitted++
+	return nil
+}
+
+// Release returns a previously admitted debit, after the home engine
+// refused the event (overload, validation): the pool must not leak
+// capacity to events that never ran.
+func (c *CrossAdmitter) Release(touched []int, demand int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range touched {
+		if s < 1 || s > len(c.avail) {
+			continue
+		}
+		c.avail[s-1] += demand
+		if c.avail[s-1] > c.size {
+			c.avail[s-1] = c.size
+		}
+	}
+	c.admitted--
+}
+
+// Counters reports how many cross-shard events were pool-admitted (net
+// of releases) and how many were refused for pool exhaustion.
+func (c *CrossAdmitter) Counters() (admitted, rejected int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitted, c.rejected
+}

@@ -1,0 +1,124 @@
+// Package shard partitions the control plane by pod: a Partition maps
+// every pod of a topology onto one of N engine shards, each shard runs
+// the ordinary single-world state loop (engine + scheduler + WAL,
+// unchanged) over its slice of the network, and a Gateway fronting the
+// shards speaks the ctl protocol, routing each submitted event to the
+// shard owning its endpoints' pods. Events whose endpoints span shards
+// take a two-phase admission path over the reserved cross-shard core
+// pool (see CrossAdmitter) before landing on their home shard.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"netupdate/internal/topology"
+)
+
+// PodMapper exposes a topology's pod structure: how many pods there are
+// and which pod a node belongs to (-1 for pod-less nodes — fat-tree
+// cores, leaf-spine spines). Both *topology.FatTree and
+// *topology.LeafSpine satisfy it.
+type PodMapper interface {
+	NumPods() int
+	PodOf(topology.NodeID) int
+}
+
+// Partition assigns pods to N shards in contiguous runs: shard s
+// (1-based) owns pods [⌈(s-1)·P/N⌉, ⌈s·P/N⌉). Contiguity keeps the map
+// describable by two integers per shard and makes ownership stable as
+// shards are added in powers of two.
+type Partition struct {
+	mapper PodMapper
+	n      int
+}
+
+// NewPartition builds a partition of m's pods over n shards. Every
+// shard must own at least one pod, so n is capped by the pod count.
+func NewPartition(m PodMapper, n int) (*Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, have %d", n)
+	}
+	if p := m.NumPods(); n > p {
+		return nil, fmt.Errorf("shard: %d shards over %d pods leaves empty shards", n, p)
+	}
+	return &Partition{mapper: m, n: n}, nil
+}
+
+// N reports the shard count.
+func (p *Partition) N() int { return p.n }
+
+// OfPod returns the 1-based shard owning pod, or 0 for pods outside
+// [0, NumPods).
+func (p *Partition) OfPod(pod int) int {
+	if pod < 0 || pod >= p.mapper.NumPods() {
+		return 0
+	}
+	return pod*p.n/p.mapper.NumPods() + 1
+}
+
+// PodsOf returns the pods shard s (1-based) owns, in ascending order.
+func (p *Partition) PodsOf(s int) []int {
+	var pods []int
+	for pod := 0; pod < p.mapper.NumPods(); pod++ {
+		if p.OfPod(pod) == s {
+			pods = append(pods, pod)
+		}
+	}
+	return pods
+}
+
+// Key classifies one event by the shards its endpoints' pods resolve
+// to: Home is the routing destination (the lowest touched shard), and
+// Cross marks events spanning more than one shard, which must hold
+// cross-pool core capacity on every touched shard before admission.
+type Key struct {
+	Home    int
+	Cross   bool
+	Touched []int // ascending, at least [Home]
+}
+
+// KeyOf resolves an event's endpoint set to its shard key. An endpoint
+// with no pod (a core or spine switch — possible only for synthetic
+// specs, never host-to-host traffic) is conservatively treated as
+// touching every shard.
+func (p *Partition) KeyOf(endpoints []topology.NodeID) Key {
+	touched := make(map[int]struct{})
+	for _, ep := range endpoints {
+		pod := p.mapper.PodOf(ep)
+		if pod < 0 {
+			for s := 1; s <= p.n; s++ {
+				touched[s] = struct{}{}
+			}
+			break
+		}
+		touched[p.OfPod(pod)] = struct{}{}
+	}
+	if len(touched) == 0 {
+		// No endpoints (an empty event): route to shard 1, whose
+		// validation will reject it with the same error an unsharded
+		// server gives.
+		return Key{Home: 1, Touched: []int{1}}
+	}
+	ids := make([]int, 0, len(touched))
+	for s := range touched {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	return Key{Home: ids[0], Cross: len(ids) > 1, Touched: ids}
+}
+
+// LinkOwner resolves a link to the shard owning both its endpoints, or
+// 0 when the link crosses shards or touches a pod-less node (core
+// links): those belong to the shared core layer.
+func (p *Partition) LinkOwner(from, to topology.NodeID) int {
+	fp, tp := p.mapper.PodOf(from), p.mapper.PodOf(to)
+	if fp < 0 || tp < 0 {
+		return 0
+	}
+	fs, ts := p.OfPod(fp), p.OfPod(tp)
+	if fs != ts {
+		return 0
+	}
+	return fs
+}

@@ -165,6 +165,29 @@ func (ft *FatTree) HostAddr(id NodeID) (pod, edge, h int, ok bool) {
 	return pod, rem / half, rem % half, true
 }
 
+// PodOf returns the pod a node belongs to: the pod number for hosts,
+// edge and aggregation switches, and -1 for core switches (which belong
+// to no pod) and unknown IDs. This is the shard key of the pod-sharded
+// control plane: a node with PodOf >= 0 is owned by exactly one pod.
+func (ft *FatTree) PodOf(id NodeID) int {
+	if p := ft.PodOfHost(id); p >= 0 {
+		return p
+	}
+	if id < 0 || int(id) >= ft.graph.NumNodes() {
+		return -1
+	}
+	switch ft.graph.Node(id).Kind {
+	case KindAggSwitch, KindEdgeSwitch:
+		// Nodes are minted cores-first, then per-pod blocks of
+		// k/2 aggs + k/2 edges + (k/2)^2 hosts (see NewFatTree).
+		half := ft.K / 2
+		perPod := 2*half + half*half
+		return (int(id) - half*half) / perPod
+	default:
+		return -1
+	}
+}
+
 // PodOfHost returns the pod number of a host, or -1 if id is not a host.
 func (ft *FatTree) PodOfHost(id NodeID) int {
 	pod, _, _, ok := ft.HostAddr(id)

@@ -192,6 +192,32 @@ func (g *Graph) Release(id LinkID, bw Bandwidth) error {
 	return nil
 }
 
+// SetCapacity rewrites a link's capacity, e.g. when a sharded deployment
+// splits core-layer links across per-shard worlds. It fails with
+// ErrNegativeBandwidth for c < 0 and with ErrInsufficientBandwidth when
+// the link already has more than c reserved (shrinking below the
+// committed load would make the residual negative). A successful change
+// bumps the graph epoch and the link's version exactly like Reserve, so
+// probe caches revalidate.
+func (g *Graph) SetCapacity(id LinkID, c Bandwidth) error {
+	if c < 0 {
+		return fmt.Errorf("set capacity on %v: %w", id, ErrNegativeBandwidth)
+	}
+	l := &g.links[id]
+	if l.reserved > c {
+		return fmt.Errorf("set capacity %v on %v (reserved %v): %w",
+			c, l, l.reserved, ErrInsufficientBandwidth)
+	}
+	if l.Capacity == c {
+		return nil
+	}
+	l.Capacity = c
+	g.epoch++
+	l.version = g.epoch
+	g.recordChange(id)
+	return nil
+}
+
 // Utilization returns total reserved bandwidth divided by total capacity
 // across all links (0 for an empty graph). This is the "network utilization"
 // knob the paper sweeps in its evaluation.

@@ -83,3 +83,25 @@ func (ls *LeafSpine) Hosts() []NodeID { return ls.hosts }
 
 // NumHosts returns the total host count.
 func (ls *LeafSpine) NumHosts() int { return len(ls.hosts) }
+
+// NumPods returns the pod count of the fabric under the sharding
+// abstraction: each leaf (with its hosts) is one pod; spines are the
+// shared core layer.
+func (ls *LeafSpine) NumPods() int { return ls.NumLeaves }
+
+// PodOf returns the "pod" of a node — the leaf index for leaves and the
+// hosts under them, -1 for spines (shared core layer) and unknown IDs.
+// Nodes are minted spines-first, then per-leaf blocks of one leaf switch
+// followed by HostsPerLeaf hosts (see NewLeafSpine).
+func (ls *LeafSpine) PodOf(id NodeID) int {
+	if int(id) < ls.NumSpines {
+		return -1
+	}
+	rel := int(id) - ls.NumSpines
+	perLeaf := 1 + ls.HostsPerLeaf
+	leaf := rel / perLeaf
+	if leaf >= ls.NumLeaves {
+		return -1
+	}
+	return leaf
+}

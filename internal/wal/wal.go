@@ -134,6 +134,12 @@ type Meta struct {
 	Util      float64 `json:"util"`
 	Watermark int     `json:"watermark"`
 	Tables    int     `json:"tables"`
+	// Shard/Shards record a sharded engine's placement (1-based ID of N);
+	// zero for unsharded logs, so pre-shard logs compare equal under
+	// Check. Replaying a shard's log into a different slot would fold a
+	// disjoint event-ID lattice and must be refused.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // Check reports whether got folds over the same world as m.

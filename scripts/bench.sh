@@ -12,6 +12,10 @@
 # `scripts/bench.sh failover` runs only the leader/follower failover
 # soak (real daemons, SIGKILL, promotion) and merges the result the
 # same way.
+#
+# `scripts/bench.sh shard_scaling` runs only the sharded control-plane
+# scaling sweep (selfhost gateway at 1/2/4/8 shards on k=8) and merges
+# the result the same way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -156,6 +160,79 @@ PY
   rm -rf "$dir"
 }
 
+# Shard scaling sweep: the same saturating open-loop workload against a
+# selfhost gateway at each shard count, recording the server-side
+# completion rate (events done per second — ingest acks are bounded by
+# the client's pipeline window, so completion is the honest throughput
+# number). On one CPU the speedup is not parallelism: each shard's
+# world carries ~1/N of the background flows and queue depth, so every
+# probe, placement, and incremental replan touches a fraction of the
+# interferer set. Demand is kept low and the cross pool generous so
+# cross-shard admission never skews the sweep (SHARD_RATE=0 skips it).
+SHARD_RATE="${SHARD_RATE:-20000}"
+SHARD_DURATION="${SHARD_DURATION:-4s}"
+SHARD_K="${SHARD_K:-8}"
+SHARD_UTIL="${SHARD_UTIL:-0.75}"
+SHARD_COUNTS="${SHARD_COUNTS:-1 2 4 8}"
+shard_scaling=null
+run_shard_scaling() {
+  [ "$SHARD_RATE" = 0 ] && return 0
+  local n out runs=""
+  for n in $SHARD_COUNTS; do
+    out=$(go run ./cmd/loadgen -selfhost -shards "$n" -k "$SHARD_K" -util "$SHARD_UTIL" \
+      -rate "$SHARD_RATE" -duration "$SHARD_DURATION" -batch 64 -conns 2 \
+      -min-flows 1 -max-flows 1 -demand-mbps 1 -watermark 1000000 \
+      -cross-pool-frac 0.5 -json 2>/dev/null) || out=null
+    runs="$runs{\"shards\": $n, \"run\": $out},"
+  done
+  shard_scaling=$(RUNS="$runs" python3 - <<'PY'
+import json, os
+runs = json.loads("[" + os.environ["RUNS"].rstrip(",") + "]")
+per = []
+for r in runs:
+    run = r.get("run") or {}
+    srv = run.get("server") or {}
+    el = run.get("elapsed_sec") or 0
+    per.append({
+        "shards": r["shards"],
+        "completed_per_sec": round(srv.get("events_done", 0) / el, 1) if el else 0,
+        "ingest_accepted_per_sec": round(srv.get("ingest_accepted", 0) / el, 1) if el else 0,
+        "cross_admitted": srv.get("cross_events", 0),
+        "cross_rejected": srv.get("cross_rejected", 0),
+    })
+by = {p["shards"]: p for p in per}
+out = {"per_shards": per}
+if by.get(1, {}).get("completed_per_sec", 0) > 0 and 4 in by:
+    out["speedup_4x"] = round(by[4]["completed_per_sec"] / by[1]["completed_per_sec"], 2)
+print(json.dumps(out))
+PY
+  ) || shard_scaling=null
+}
+
+if [ "${1:-}" = "shard_scaling" ]; then
+  run_shard_scaling
+  if [ "$shard_scaling" = null ]; then
+    echo "bench.sh: shard scaling run failed" >&2
+    exit 1
+  fi
+  OUT="$OUT" PROFILE="$shard_scaling" python3 - <<'PY'
+import json, os
+path, profile = os.environ["OUT"], json.loads(os.environ["PROFILE"])
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {}
+doc["shard_scaling"] = profile
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"merged shard_scaling into {path}")
+PY
+  printf '%s\n' "$shard_scaling"
+  exit 0
+fi
+
 if [ "${1:-}" = "failover" ]; then
   run_failover
   if [ "$failover" = null ]; then
@@ -251,6 +328,7 @@ if [ "$WAL_RATE" != 0 ] && [ "$SOAK_RATE" != 0 ]; then
 fi
 run_latency_profile
 run_failover
+run_shard_scaling
 
 wal_summary=null
 if [ "$wal_soak" != null ]; then
@@ -321,6 +399,7 @@ fi
   printf '  }\n'
   printf '  ,"latency_profile": %s\n' "$latency_profile"
   printf '  ,"failover": %s\n' "$failover"
+  printf '  ,"shard_scaling": %s\n' "$shard_scaling"
   printf '  ,"wal_recovery": {\n'
   printf '  "summary": %s\n' "$wal_summary"
   printf '  ,"soak":\n'

@@ -177,3 +177,43 @@ if rel > tolerance:
     print(f"bench_guard: FAILOVER REGRESSION beyond {tolerance}x", file=sys.stderr)
     sys.exit(1)
 PY
+
+# Shard scaling gate: re-runs the sharded control-plane sweep and checks
+# the 4-shard completion speedup. Like the other wall-clock gates it only
+# arms when the pinned baseline carries a shard_scaling block, so pinning
+# a pre-sharding baseline leaves it dormant. The gate is a floor, not a
+# ratio: the design target is >=3x completed events/s at 4 shards vs 1
+# (same seed, same workload), and SHARD_SPEEDUP_MIN (default 2.5 for
+# CI-host noise headroom) is the hard minimum. SHARD_RATE=0 disables the
+# re-run.
+SHARD_RATE="${SHARD_RATE:-20000}"
+SHARD_SPEEDUP_MIN="${SHARD_SPEEDUP_MIN:-2.5}"
+base_speedup=$(python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sc = doc.get("shard_scaling") or {}
+print(sc.get("speedup_4x", ""))' "$BASELINE")
+if [ -z "$base_speedup" ] || [ "$SHARD_RATE" = 0 ]; then
+  echo "bench_guard: baseline has no shard_scaling block; shard gate skipped"
+  exit 0
+fi
+sc_json=$(SHARD_RATE="$SHARD_RATE" SHARD_COUNTS="1 4" scripts/bench.sh shard_scaling 2>/dev/null | tail -1) || sc_json=null
+if [ "$sc_json" = null ] || [ -z "$sc_json" ]; then
+  echo "bench_guard: shard scaling run failed; shard gate skipped" >&2
+  exit 0
+fi
+SC_JSON="$sc_json" python3 - "$base_speedup" "$SHARD_SPEEDUP_MIN" <<'PY'
+import json, os, sys
+
+base, floor = float(sys.argv[1]), float(sys.argv[2])
+sc = json.loads(os.environ["SC_JSON"])
+cur = float(sc.get("speedup_4x", 0))
+if cur <= 0:
+    print("bench_guard: shard speedup unavailable; gate skipped")
+    sys.exit(0)
+verdict = "FAIL" if cur < floor else "ok"
+print(f"bench_guard: shard 4x speedup {cur:.2f}x vs baseline {base:.2f}x, floor {floor:.2f}x ({verdict})")
+if cur < floor:
+    print(f"bench_guard: SHARD SCALING below the {floor:.2f}x floor", file=sys.stderr)
+    sys.exit(1)
+PY
